@@ -1,0 +1,599 @@
+// Benchmarks: one per paper table/figure plus the ablations DESIGN.md
+// calls out. Each benchmark regenerates the figure's measurement at a
+// representative operating point (n=100, both paper densities) and reports
+// the measured quantity as a custom metric, so `go test -bench=.`
+// doubles as a smoke reproduction:
+//
+//	BenchmarkFig6 — average CDS size (static 2.5/3-hop vs MO_CDS)
+//	BenchmarkFig7 — forward-node set (dynamic vs MO_CDS)
+//	BenchmarkFig8 — forward-node set (static vs dynamic)
+//	BenchmarkApproxRatio / BenchmarkMessageComplexity /
+//	BenchmarkBaselines / BenchmarkTieBreak / BenchmarkMobility — ablations
+//
+// The full replicated sweeps (99% CI within ±5%, n = 20..100) are produced
+// by `go run ./cmd/figures`.
+package clustercast_test
+
+import (
+	"fmt"
+	"testing"
+
+	"clustercast/internal/backbone"
+	"clustercast/internal/broadcast"
+	"clustercast/internal/cluster"
+	"clustercast/internal/core"
+	"clustercast/internal/coverage"
+	"clustercast/internal/fwdtree"
+	"clustercast/internal/geom"
+	"clustercast/internal/hier"
+	"clustercast/internal/marking"
+	"clustercast/internal/mcds"
+	"clustercast/internal/mocds"
+	"clustercast/internal/passive"
+	"clustercast/internal/reliable"
+	"clustercast/internal/rng"
+	"clustercast/internal/routing"
+	"clustercast/internal/sim"
+	"clustercast/internal/topology"
+)
+
+// sample draws the i-th replicate network for a bench scenario.
+func sample(b *testing.B, n int, d float64, i int) *core.Network {
+	b.Helper()
+	nw, err := core.NewRandomNetwork(core.NetworkSpec{
+		N: n, AvgDegree: d, Seed: uint64(i)*0x9E3779B97F4A7C15 + uint64(d),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nw
+}
+
+// BenchmarkFig6 regenerates Figure 6's measurement: the average CDS size
+// of the static backbone (2.5-hop, 3-hop) and the MO_CDS at n=100.
+func BenchmarkFig6(b *testing.B) {
+	for _, d := range []float64{6, 18} {
+		for _, alg := range []string{"static-2.5hop", "static-3hop", "mo-cds"} {
+			b.Run(fmt.Sprintf("d=%g/%s", d, alg), func(b *testing.B) {
+				total := 0
+				for i := 0; i < b.N; i++ {
+					nw := sample(b, 100, d, i)
+					switch alg {
+					case "static-2.5hop":
+						total += nw.StaticBackbone(core.Hop25).Size()
+					case "static-3hop":
+						total += nw.StaticBackbone(core.Hop3).Size()
+					case "mo-cds":
+						total += nw.MOCDS().Size()
+					}
+				}
+				b.ReportMetric(float64(total)/float64(b.N), "cds-size")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7's measurement: the forward-node-set
+// size of a dynamic-backbone broadcast vs a broadcast over the MO_CDS.
+func BenchmarkFig7(b *testing.B) {
+	for _, d := range []float64{6, 18} {
+		for _, alg := range []string{"dynamic-2.5hop", "dynamic-3hop", "mo-cds"} {
+			b.Run(fmt.Sprintf("d=%g/%s", d, alg), func(b *testing.B) {
+				src := rng.NewLabeled(7, "fig7")
+				total := 0
+				for i := 0; i < b.N; i++ {
+					nw := sample(b, 100, d, i)
+					s := src.Intn(nw.N())
+					switch alg {
+					case "dynamic-2.5hop":
+						total += nw.DynamicBroadcast(core.Hop25, s).ForwardCount()
+					case "dynamic-3hop":
+						total += nw.DynamicBroadcast(core.Hop3, s).ForwardCount()
+					case "mo-cds":
+						total += nw.BroadcastMOCDS(nw.MOCDS(), s).ForwardCount()
+					}
+				}
+				b.ReportMetric(float64(total)/float64(b.N), "fwd-nodes")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8's measurement: forward nodes of the
+// static vs the dynamic backbone.
+func BenchmarkFig8(b *testing.B) {
+	for _, d := range []float64{6, 18} {
+		for _, alg := range []string{"static-2.5hop", "static-3hop", "dynamic-2.5hop", "dynamic-3hop"} {
+			b.Run(fmt.Sprintf("d=%g/%s", d, alg), func(b *testing.B) {
+				src := rng.NewLabeled(8, "fig8")
+				total := 0
+				for i := 0; i < b.N; i++ {
+					nw := sample(b, 100, d, i)
+					s := src.Intn(nw.N())
+					switch alg {
+					case "static-2.5hop":
+						total += nw.BroadcastStatic(nw.StaticBackbone(core.Hop25), s).ForwardCount()
+					case "static-3hop":
+						total += nw.BroadcastStatic(nw.StaticBackbone(core.Hop3), s).ForwardCount()
+					case "dynamic-2.5hop":
+						total += nw.DynamicBroadcast(core.Hop25, s).ForwardCount()
+					case "dynamic-3hop":
+						total += nw.DynamicBroadcast(core.Hop3, s).ForwardCount()
+					}
+				}
+				b.ReportMetric(float64(total)/float64(b.N), "fwd-nodes")
+			})
+		}
+	}
+}
+
+// BenchmarkApproxRatio regenerates ABL-RATIO: the empirical approximation
+// ratio to the exact MCDS on small networks.
+func BenchmarkApproxRatio(b *testing.B) {
+	for _, alg := range []string{"static-2.5hop", "mo-cds", "greedy-gk"} {
+		b.Run(alg, func(b *testing.B) {
+			sum, count := 0.0, 0
+			for i := 0; i < b.N; i++ {
+				nw := sample(b, 16, 5, i)
+				opt := mcds.Exact(nw.Graph())
+				if len(opt) == 0 {
+					continue
+				}
+				var size int
+				switch alg {
+				case "static-2.5hop":
+					size = nw.StaticBackbone(core.Hop25).Size()
+				case "mo-cds":
+					size = nw.MOCDS().Size()
+				case "greedy-gk":
+					size = len(mcds.Greedy(nw.Graph()))
+				}
+				sum += float64(size) / float64(len(opt))
+				count++
+			}
+			if count > 0 {
+				b.ReportMetric(sum/float64(count), "ratio")
+			}
+		})
+	}
+}
+
+// BenchmarkMessageComplexity regenerates ABL-MSG: distributed construction
+// messages per node across sizes (flat ⇒ O(n) total, the paper's
+// message-optimality claim).
+func BenchmarkMessageComplexity(b *testing.B) {
+	for _, n := range []int{20, 50, 100, 200} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				nw := sample(b, n, 6, i)
+				total += sim.Run(nw.Graph(), coverage.Hop25).Counters.Total()
+			}
+			b.ReportMetric(float64(total)/float64(b.N)/float64(n), "msgs/node")
+		})
+	}
+}
+
+// BenchmarkBaselines regenerates ABL-BASELINES: forward nodes across the
+// related-work protocols at n=100, d=18.
+func BenchmarkBaselines(b *testing.B) {
+	protocols := []string{"flooding", "mpr", "dp", "pdp", "dynamic-2.5hop"}
+	for _, name := range protocols {
+		b.Run(name, func(b *testing.B) {
+			src := rng.NewLabeled(9, "baselines")
+			total := 0
+			for i := 0; i < b.N; i++ {
+				nw := sample(b, 100, 18, i)
+				s := src.Intn(nw.N())
+				var p broadcast.Protocol
+				switch name {
+				case "flooding":
+					p = broadcast.Flooding{}
+				case "mpr":
+					p = broadcast.NewMPR(broadcast.NewNeighborhood(nw.Graph()))
+				case "dp":
+					p = broadcast.NewDP(broadcast.NewNeighborhood(nw.Graph()))
+				case "pdp":
+					p = broadcast.NewPDP(broadcast.NewNeighborhood(nw.Graph()))
+				case "dynamic-2.5hop":
+					p = nw.DynamicProtocol(core.Hop25)
+				}
+				total += broadcast.Run(nw.Graph(), s, p).ForwardCount()
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "fwd-nodes")
+		})
+	}
+}
+
+// BenchmarkTieBreak regenerates ABL-TIE: the static backbone size with and
+// without the indirect-coverage tie-breaking rule.
+func BenchmarkTieBreak(b *testing.B) {
+	for _, opts := range []struct {
+		name string
+		o    backbone.Options
+	}{
+		{"with-tiebreak", backbone.Options{}},
+		{"without-tiebreak", backbone.Options{NoIndirectTieBreak: true}},
+	} {
+		b.Run(opts.name, func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				nw := sample(b, 100, 6, i)
+				cb := coverage.NewBuilder(nw.Graph(), nw.Clustering, coverage.Hop25)
+				total += backbone.BuildStaticOpt(cb, nw.Clustering, opts.o).Size()
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "cds-size")
+		})
+	}
+}
+
+// BenchmarkMobility regenerates ABL-MOBILITY: static-backbone membership
+// churn per mobility step under random waypoint at increasing speeds.
+func BenchmarkMobility(b *testing.B) {
+	for _, speed := range []float64{2, 10} {
+		b.Run(fmt.Sprintf("speed=%g", speed), func(b *testing.B) {
+			churn := 0
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				nw := sample(b, 60, 8, i)
+				bounds := nw.Topology.Bounds
+				mob := topology.NewRandomWaypoint(nw.Topology.Positions, bounds,
+					speed/2, speed, 0, rng.NewLabeled(uint64(i), "bench-waypoint"))
+				prev := nw.StaticBackbone(core.Hop25)
+				for s := 0; s < 5; s++ {
+					cur := topology.FromPositions(mob.Step(1), bounds, nw.Topology.Radius)
+					cl := cluster.LowestID(cur.G)
+					bb := backbone.BuildStatic(cur.G, cl, coverage.Hop25)
+					for v := 0; v < 60; v++ {
+						if prev.Nodes[v] != bb.Nodes[v] {
+							churn++
+						}
+					}
+					prev = bb
+					steps++
+				}
+			}
+			if steps > 0 {
+				b.ReportMetric(float64(churn)/float64(steps), "churn/step")
+			}
+		})
+	}
+}
+
+// BenchmarkConstructionThroughput measures raw end-to-end construction
+// cost: topology + clustering + static backbone at n=100 (engineering
+// metric, not a paper figure).
+func BenchmarkConstructionThroughput(b *testing.B) {
+	r := rng.New(1)
+	nw, err := topology.Generate(topology.Config{
+		N: 100, Bounds: geom.Square(100), AvgDegree: 18, RequireConnected: true,
+	}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl := cluster.LowestID(nw.G)
+		_ = backbone.BuildStatic(nw.G, cl, coverage.Hop25)
+		_ = mocds.Build(nw.G, cl)
+	}
+}
+
+// BenchmarkSICDS regenerates ABL-SICDS: sizes of every source-independent
+// CDS construction at n=100, d=6.
+func BenchmarkSICDS(b *testing.B) {
+	for _, alg := range []string{"static-2.5hop", "mo-cds", "marking", "fwd-tree"} {
+		b.Run(alg, func(b *testing.B) {
+			src := rng.NewLabeled(12, "sicds")
+			total := 0
+			for i := 0; i < b.N; i++ {
+				nw := sample(b, 100, 6, i)
+				switch alg {
+				case "static-2.5hop":
+					total += nw.StaticBackbone(core.Hop25).Size()
+				case "mo-cds":
+					total += nw.MOCDS().Size()
+				case "marking":
+					total += len(marking.Build(nw.Graph()))
+				case "fwd-tree":
+					cb := coverage.NewBuilder(nw.Graph(), nw.Clustering, coverage.Hop25)
+					tree, err := fwdtree.Build(cb, nw.Clustering, src.Intn(nw.N()))
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += tree.Size()
+				}
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "cds-size")
+		})
+	}
+}
+
+// BenchmarkLossy regenerates ABL-LOSSY: delivery ratio at 20% per-link
+// loss for flooding vs the dynamic backbone.
+func BenchmarkLossy(b *testing.B) {
+	for _, alg := range []string{"flooding", "dynamic-2.5hop"} {
+		b.Run(alg, func(b *testing.B) {
+			src := rng.NewLabeled(13, "lossy")
+			sum := 0.0
+			for i := 0; i < b.N; i++ {
+				nw := sample(b, 60, 10, i)
+				s := src.Intn(nw.N())
+				opt := broadcast.Options{Loss: 0.2, Seed: uint64(i)}
+				var res *broadcast.Result
+				if alg == "flooding" {
+					res = broadcast.RunOpts(nw.Graph(), s, broadcast.Flooding{}, opt)
+				} else {
+					res = broadcast.RunOpts(nw.Graph(), s, nw.DynamicProtocol(core.Hop25), opt)
+				}
+				sum += res.DeliveryRatio(nw.N())
+			}
+			b.ReportMetric(sum/float64(b.N), "delivery")
+		})
+	}
+}
+
+// BenchmarkMaintenance regenerates ABL-MAINT: head churn per step for full
+// re-election vs LCC incremental repair at speed 5.
+func BenchmarkMaintenance(b *testing.B) {
+	for _, alg := range []string{"full-reelection", "lcc-incremental"} {
+		b.Run(alg, func(b *testing.B) {
+			churn, steps := 0, 0
+			for i := 0; i < b.N; i++ {
+				nw := sample(b, 60, 8, i)
+				mob := topology.NewRandomWaypoint(nw.Topology.Positions, nw.Topology.Bounds,
+					2.5, 5, 0, rng.NewLabeled(uint64(i), "bench-maint"))
+				prev := nw.Clustering
+				for s := 0; s < 5; s++ {
+					cur := topology.FromPositions(mob.Step(1), nw.Topology.Bounds, nw.Topology.Radius)
+					var next *cluster.Clustering
+					if alg == "lcc-incremental" {
+						next, _ = cluster.Maintain(cur.G, prev)
+					} else {
+						next = cluster.LowestID(cur.G)
+					}
+					for v := 0; v < 60; v++ {
+						if next.Head[v] != prev.Head[v] {
+							churn++
+						}
+					}
+					prev = next
+					steps++
+				}
+			}
+			if steps > 0 {
+				b.ReportMetric(float64(churn)/float64(steps), "churn/step")
+			}
+		})
+	}
+}
+
+// BenchmarkPassiveConvergence regenerates ABL-PASSIVE: forwarders on the
+// first vs the fourth flood of a shared passive-clustering structure.
+func BenchmarkPassiveConvergence(b *testing.B) {
+	for _, which := range []string{"flood-1", "flood-4"} {
+		b.Run(which, func(b *testing.B) {
+			src := rng.NewLabeled(14, "passive")
+			total := 0
+			for i := 0; i < b.N; i++ {
+				nw := sample(b, 80, 18, i)
+				sources := []int{src.Intn(80), src.Intn(80), src.Intn(80), src.Intn(80)}
+				series := passive.RunSeries(nw.Graph(), sources)
+				if which == "flood-1" {
+					total += series[0].ForwardCount()
+				} else {
+					total += series[3].ForwardCount()
+				}
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "fwd-nodes")
+		})
+	}
+}
+
+// BenchmarkReliable regenerates ABL-RELIABLE: data transmissions of the
+// reliable tree broadcast at 0% and 30% loss.
+func BenchmarkReliable(b *testing.B) {
+	for _, loss := range []float64{0, 0.3} {
+		b.Run(fmt.Sprintf("loss=%g", loss), func(b *testing.B) {
+			total := 0
+			count := 0
+			for i := 0; i < b.N; i++ {
+				nw := sample(b, 60, 10, i)
+				cb := coverage.NewBuilder(nw.Graph(), nw.Clustering, coverage.Hop25)
+				tree, err := fwdtree.Build(cb, nw.Clustering, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := reliable.Run(nw.Graph(), tree, 0, reliable.Config{Loss: loss, Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Delivered {
+					total += res.Transmissions
+					count++
+				}
+			}
+			if count > 0 {
+				b.ReportMetric(float64(total)/float64(count), "tx/bcast")
+			}
+		})
+	}
+}
+
+// BenchmarkPruning regenerates ABL-PRUNING: back-off self-pruning at
+// windows 0 and 8 vs the piggyback-pruned dynamic backbone.
+func BenchmarkPruning(b *testing.B) {
+	run := func(b *testing.B, measure func(nw *core.Network, src int) (int, int)) {
+		src := rng.NewLabeled(15, "pruning")
+		fwd, lat := 0, 0
+		for i := 0; i < b.N; i++ {
+			nw := sample(b, 80, 18, i)
+			f, l := measure(nw, src.Intn(80))
+			fwd += f
+			lat += l
+		}
+		b.ReportMetric(float64(fwd)/float64(b.N), "fwd-nodes")
+		b.ReportMetric(float64(lat)/float64(b.N), "latency")
+	}
+	b.Run("sba-window0", func(b *testing.B) {
+		run(b, func(nw *core.Network, src int) (int, int) {
+			nb := broadcast.NewNeighborhood(nw.Graph())
+			r := broadcast.RunTimed(nw.Graph(), src, broadcast.NewSBA(nb, 0, 1))
+			return r.ForwardCount(), r.Latency
+		})
+	})
+	b.Run("sba-window8", func(b *testing.B) {
+		run(b, func(nw *core.Network, src int) (int, int) {
+			nb := broadcast.NewNeighborhood(nw.Graph())
+			r := broadcast.RunTimed(nw.Graph(), src, broadcast.NewSBA(nb, 8, 1))
+			return r.ForwardCount(), r.Latency
+		})
+	})
+	b.Run("piggyback-dynamic", func(b *testing.B) {
+		run(b, func(nw *core.Network, src int) (int, int) {
+			r := nw.DynamicBroadcast(core.Hop25, src)
+			return r.ForwardCount(), r.Latency
+		})
+	})
+}
+
+// BenchmarkRouting regenerates ABL-ROUTING: RREQ cost of route discovery.
+func BenchmarkRouting(b *testing.B) {
+	for _, alg := range []string{"flooding", "backbone"} {
+		b.Run(alg, func(b *testing.B) {
+			src := rng.NewLabeled(16, "routing")
+			cost, stretch, count := 0, 0.0, 0
+			for i := 0; i < b.N; i++ {
+				nw := sample(b, 80, 12, i)
+				s, d := src.Intn(80), src.Intn(80)
+				if s == d {
+					continue
+				}
+				var p broadcast.Protocol = broadcast.Flooding{}
+				if alg == "backbone" {
+					p = nw.DynamicProtocol(core.Hop25)
+				}
+				route, err := routing.Discover(nw.Graph(), s, d, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost += route.RequestCost
+				stretch += route.Stretch(nw.Graph())
+				count++
+			}
+			if count > 0 {
+				b.ReportMetric(float64(cost)/float64(count), "rreq-tx")
+				b.ReportMetric(stretch/float64(count), "stretch")
+			}
+		})
+	}
+}
+
+// BenchmarkStorm regenerates ABL-STORM: redundant receptions per node.
+func BenchmarkStorm(b *testing.B) {
+	for _, alg := range []string{"flooding", "dynamic-2.5hop"} {
+		b.Run(alg, func(b *testing.B) {
+			src := rng.NewLabeled(17, "storm")
+			sum := 0.0
+			for i := 0; i < b.N; i++ {
+				nw := sample(b, 80, 18, i)
+				s := src.Intn(80)
+				var res *broadcast.Result
+				if alg == "flooding" {
+					res = nw.Flood(s)
+				} else {
+					res = nw.DynamicBroadcast(core.Hop25, s)
+				}
+				sum += res.Redundancy()
+			}
+			b.ReportMetric(sum/float64(b.N), "dup/node")
+		})
+	}
+}
+
+// BenchmarkHierarchy regenerates ABL-HIER: heads per hierarchy level.
+func BenchmarkHierarchy(b *testing.B) {
+	for _, level := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("level=%d", level), func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				nw := sample(b, 100, 8, i)
+				h, err := hier.Build(nw.Graph(), level+2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if level < h.Depth() {
+					total += len(h.HeadsAt(level))
+				} else {
+					total++
+				}
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "heads")
+		})
+	}
+}
+
+// BenchmarkCollision regenerates ABL-COLLISION: delivery under
+// synchronized MAC collisions.
+func BenchmarkCollision(b *testing.B) {
+	for _, alg := range []string{"flooding", "dynamic-2.5hop"} {
+		b.Run(alg, func(b *testing.B) {
+			src := rng.NewLabeled(18, "collision")
+			sum := 0.0
+			for i := 0; i < b.N; i++ {
+				nw := sample(b, 80, 18, i)
+				s := src.Intn(80)
+				opt := broadcast.MACOptions{Jitter: 0, Seed: uint64(i)}
+				var res *broadcast.CollisionResult
+				if alg == "flooding" {
+					res = broadcast.RunMAC(nw.Graph(), s, broadcast.Flooding{}, opt)
+				} else {
+					res = broadcast.RunMAC(nw.Graph(), s, nw.DynamicProtocol(core.Hop25), opt)
+				}
+				sum += res.DeliveryRatio(80)
+			}
+			b.ReportMetric(sum/float64(b.N), "delivery")
+		})
+	}
+}
+
+// BenchmarkScale exercises the full pipeline at sizes well beyond the
+// paper's sweep, demonstrating the simulator's headroom (spatial-grid
+// topology construction keeps it near-linear).
+func BenchmarkScale(b *testing.B) {
+	for _, n := range []int{200, 500, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nw := sample(b, n, 18, i)
+				static := nw.StaticBackbone(core.Hop25)
+				res := nw.DynamicBroadcast(core.Hop25, i%n)
+				if res.ForwardCount() > static.Size()+n/10 {
+					b.Fatalf("dynamic forwarders %d implausibly high vs static %d",
+						res.ForwardCount(), static.Size())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkElection regenerates ABL-ELECTION: backbone size under the two
+// clusterhead election rules.
+func BenchmarkElection(b *testing.B) {
+	for _, alg := range []string{"lowest-id", "highest-degree"} {
+		b.Run(alg, func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				nw := sample(b, 100, 18, i)
+				var cl *cluster.Clustering
+				if alg == "lowest-id" {
+					cl = nw.Clustering
+				} else {
+					cl = cluster.HighestDegree(nw.Graph())
+				}
+				cb := coverage.NewBuilder(nw.Graph(), cl, coverage.Hop25)
+				total += backbone.BuildStaticFrom(cb, cl).Size()
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "cds-size")
+		})
+	}
+}

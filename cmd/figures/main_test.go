@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clustercast/internal/stats"
+)
+
+// quickCfg keeps CLI tests fast.
+func quickCfg() config {
+	return config{fig: "delivery", format: "md", seed: 7, quick: true, maxN: 20}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	var out bytes.Buffer
+	cfg := quickCfg()
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "### delivery") {
+		t.Fatalf("markdown output missing figure header:\n%s", out.String())
+	}
+}
+
+func TestRunCSVAndChart(t *testing.T) {
+	for _, format := range []string{"csv", "chart", "json"} {
+		var out bytes.Buffer
+		cfg := quickCfg()
+		cfg.format = format
+		if err := run(cfg, &out); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if out.Len() == 0 {
+			t.Fatalf("%s: empty output", format)
+		}
+		if format == "json" {
+			var v map[string]interface{}
+			if err := json.Unmarshal(out.Bytes(), &v); err != nil {
+				t.Fatalf("json output does not parse: %v", err)
+			}
+			if v["ID"] != "delivery" {
+				t.Fatalf("json ID = %v", v["ID"])
+			}
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	cfg := quickCfg()
+	cfg.fig = "nope"
+	if err := run(cfg, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "unknown figure") {
+		t.Fatalf("want unknown-figure error, got %v", err)
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	cfg := quickCfg()
+	cfg.format = "yaml"
+	if err := run(cfg, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "unknown format") {
+		t.Fatalf("want unknown-format error, got %v", err)
+	}
+}
+
+func TestRunBadMaxN(t *testing.T) {
+	cfg := quickCfg()
+	cfg.maxN = 5
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("maxn below the smallest sweep size must error")
+	}
+}
+
+func TestRunOutDir(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quickCfg()
+	cfg.outDir = dir
+	if err := run(cfg, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "delivery.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "x,") {
+		t.Fatalf("CSV file content wrong: %q", string(data[:20]))
+	}
+}
+
+func TestRunnersCoverOrder(t *testing.T) {
+	all := runners(quickCfg(), stats.StopRule{}, []int{20})
+	for _, name := range figureOrder {
+		if _, ok := all[name]; !ok {
+			t.Fatalf("figureOrder entry %q has no runner", name)
+		}
+	}
+	if len(all) != len(figureOrder) {
+		t.Fatalf("%d runners vs %d ordered names — keep them in sync", len(all), len(figureOrder))
+	}
+}

@@ -1,0 +1,190 @@
+// Command manetsim simulates one MANET scenario end to end: it generates a
+// random connected unit-disk-graph network (or loads a snapshot), clusters
+// it, builds every backbone, and runs one broadcast under each protocol,
+// printing a comparison table.
+//
+// Usage:
+//
+//	manetsim -n 100 -d 18 -seed 7 -source 0
+//	manetsim -n 60 -d 6 -protocols flooding,dynamic-2.5,mo-cds
+//	manetsim -load net.json -wire
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"clustercast/internal/broadcast"
+	"clustercast/internal/core"
+	"clustercast/internal/coverage"
+	"clustercast/internal/fwdtree"
+	"clustercast/internal/marking"
+	"clustercast/internal/passive"
+	"clustercast/internal/rng"
+	"clustercast/internal/sim"
+	"clustercast/internal/topology"
+)
+
+// config holds the parsed command line.
+type config struct {
+	n         int
+	d         float64
+	seed      uint64
+	source    int
+	protocols string
+	wire      bool
+	load      string
+}
+
+// protocolRun is one row of the comparison table.
+type protocolRun struct {
+	name string
+	run  func() (*broadcast.Result, error)
+}
+
+// buildRuns assembles the protocol table for a network and source.
+func buildRuns(nw *core.Network, src int, seed uint64) []protocolRun {
+	g := nw.Graph()
+	nb := broadcast.NewNeighborhood(g)
+	ok := func(r *broadcast.Result) (*broadcast.Result, error) { return r, nil }
+	return []protocolRun{
+		{"flooding", func() (*broadcast.Result, error) { return ok(nw.Flood(src)) }},
+		{"gossip", func() (*broadcast.Result, error) {
+			return ok(broadcast.Run(g, src, broadcast.Gossip{P: 0.7, Seed: seed}))
+		}},
+		{"mpr", func() (*broadcast.Result, error) { return ok(broadcast.Run(g, src, broadcast.NewMPR(nb))) }},
+		{"dp", func() (*broadcast.Result, error) { return ok(broadcast.Run(g, src, broadcast.NewDP(nb))) }},
+		{"pdp", func() (*broadcast.Result, error) { return ok(broadcast.Run(g, src, broadcast.NewPDP(nb))) }},
+		{"static-2.5", func() (*broadcast.Result, error) {
+			return ok(nw.BroadcastStatic(nw.StaticBackbone(core.Hop25), src))
+		}},
+		{"static-3", func() (*broadcast.Result, error) {
+			return ok(nw.BroadcastStatic(nw.StaticBackbone(core.Hop3), src))
+		}},
+		{"dynamic-2.5", func() (*broadcast.Result, error) { return ok(nw.DynamicBroadcast(core.Hop25, src)) }},
+		{"dynamic-3", func() (*broadcast.Result, error) { return ok(nw.DynamicBroadcast(core.Hop3, src)) }},
+		{"mo-cds", func() (*broadcast.Result, error) { return ok(nw.BroadcastMOCDS(nw.MOCDS(), src)) }},
+		{"marking", func() (*broadcast.Result, error) {
+			return ok(broadcast.Run(g, src, broadcast.StaticCDS{Set: marking.Build(g), Label: "marking"}))
+		}},
+		{"fwd-tree", func() (*broadcast.Result, error) {
+			b := coverage.NewBuilder(g, nw.Clustering, coverage.Hop25)
+			tree, err := fwdtree.Build(b, nw.Clustering, src)
+			if err != nil {
+				return nil, err
+			}
+			return ok(broadcast.Run(g, src, broadcast.StaticCDS{Set: tree.Nodes, Label: "fwd-tree"}))
+		}},
+		{"passive", func() (*broadcast.Result, error) {
+			series := passive.RunSeries(g, []int{src, src, src})
+			return ok(series[len(series)-1])
+		}},
+		{"sba", func() (*broadcast.Result, error) {
+			return ok(broadcast.RunTimed(g, src, broadcast.NewSBA(nb, 4, seed)))
+		}},
+		{"counter-3", func() (*broadcast.Result, error) {
+			return ok(broadcast.RunTimed(g, src, broadcast.CounterBased{Threshold: 3, MaxDelay: 4, Seed: seed}))
+		}},
+		{"distance", func() (*broadcast.Result, error) {
+			return ok(broadcast.RunTimed(g, src, broadcast.DistanceBased{
+				Positions: nw.Topology.Positions, MinDistance: nw.Topology.Radius * 0.4,
+				MaxDelay: 4, Seed: seed,
+			}))
+		}},
+	}
+}
+
+// loadNetwork resolves the scenario network from the configuration.
+func loadNetwork(cfg *config) (*core.Network, error) {
+	if cfg.load != "" {
+		f, err := os.Open(cfg.load)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tn, err := topology.Load(f)
+		if err != nil {
+			return nil, err
+		}
+		nw := core.FromTopology(tn)
+		cfg.n = nw.N()
+		return nw, nil
+	}
+	return core.NewRandomNetwork(core.NetworkSpec{N: cfg.n, AvgDegree: cfg.d, Seed: cfg.seed})
+}
+
+// run executes the command against the given writer.
+func run(cfg config, stdout io.Writer) error {
+	nw, err := loadNetwork(&cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "network:", nw.Summarize())
+
+	src := cfg.source
+	if src < 0 {
+		src = rng.NewLabeled(cfg.seed, "source").Intn(cfg.n)
+	}
+	if src >= cfg.n {
+		return fmt.Errorf("source %d out of range (n=%d)", src, cfg.n)
+	}
+	fmt.Fprintf(stdout, "broadcast source: %d\n\n", src)
+
+	want := map[string]bool{}
+	if cfg.protocols != "all" {
+		for _, p := range strings.Split(cfg.protocols, ",") {
+			want[strings.TrimSpace(p)] = true
+		}
+	}
+	runs := buildRuns(nw, src, cfg.seed)
+	known := map[string]bool{}
+	for _, r := range runs {
+		known[r.name] = true
+	}
+	for name := range want {
+		if !known[name] {
+			return fmt.Errorf("unknown protocol %q", name)
+		}
+	}
+
+	fmt.Fprintf(stdout, "%-12s %9s %9s %9s\n", "protocol", "forwards", "delivery", "latency")
+	for _, r := range runs {
+		if cfg.protocols != "all" && !want[r.name] {
+			continue
+		}
+		res, err := r.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		fmt.Fprintf(stdout, "%-12s %9d %8.1f%% %9d\n",
+			r.name, res.ForwardCount(), 100*res.DeliveryRatio(cfg.n), res.Latency)
+	}
+
+	if cfg.wire {
+		out := sim.Run(nw.Graph(), core.Hop25)
+		fmt.Fprintf(stdout, "\nwire protocol (2.5-hop): %s\n", out.Counters.String())
+		fmt.Fprintf(stdout, "distributed backbone size: %d\n", len(out.Backbone))
+	}
+	return nil
+}
+
+func main() {
+	var cfg config
+	flag.IntVar(&cfg.n, "n", 100, "number of nodes")
+	flag.Float64Var(&cfg.d, "d", 6, "target average node degree")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "random seed")
+	flag.IntVar(&cfg.source, "source", -1, "broadcast source (-1: random)")
+	flag.StringVar(&cfg.protocols, "protocols", "all",
+		"comma list: flooding,gossip,mpr,dp,pdp,static-2.5,static-3,dynamic-2.5,dynamic-3,mo-cds,marking,fwd-tree,passive,sba,counter-3,distance (or all)")
+	flag.BoolVar(&cfg.wire, "wire", false, "also run the distributed wire-protocol construction and print message counts")
+	flag.StringVar(&cfg.load, "load", "", "load a topology snapshot (JSON, from topogen -save) instead of generating one")
+	flag.Parse()
+
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "manetsim: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clustercast/internal/core"
+)
+
+func TestRunAllProtocols(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{n: 40, d: 10, seed: 3, source: -1, protocols: "all"}
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, proto := range []string{"flooding", "pdp", "dynamic-2.5", "mo-cds", "fwd-tree", "counter-3"} {
+		if !strings.Contains(s, proto) {
+			t.Fatalf("output missing protocol %q:\n%s", proto, s)
+		}
+	}
+	if !strings.Contains(s, "100.0%") {
+		t.Fatal("no protocol reported full delivery")
+	}
+}
+
+func TestRunSelectedProtocols(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{n: 30, d: 8, seed: 5, source: 0, protocols: "flooding,dynamic-2.5"}
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "flooding") || !strings.Contains(s, "dynamic-2.5") {
+		t.Fatalf("selected protocols missing:\n%s", s)
+	}
+	// The summary line mentions "mo-cds=…", so look for the table row form.
+	if strings.Contains(s, "\nmo-cds ") || strings.Contains(s, "\npdp ") {
+		t.Fatal("unselected protocol row printed")
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	cfg := config{n: 20, d: 8, seed: 1, source: 0, protocols: "warp-drive"}
+	if err := run(cfg, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "unknown protocol") {
+		t.Fatalf("want unknown-protocol error, got %v", err)
+	}
+}
+
+func TestRunSourceOutOfRange(t *testing.T) {
+	cfg := config{n: 20, d: 8, seed: 1, source: 99, protocols: "flooding"}
+	if err := run(cfg, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("want out-of-range error, got %v", err)
+	}
+}
+
+func TestRunWire(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{n: 30, d: 8, seed: 7, source: 0, protocols: "flooding", wire: true}
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wire protocol") ||
+		!strings.Contains(out.String(), "HELLO=30") {
+		t.Fatalf("wire summary missing:\n%s", out.String())
+	}
+}
+
+func TestRunLoadSnapshot(t *testing.T) {
+	// Save a snapshot via the topology API, then load it through the CLI
+	// path.
+	nw, err := core.NewRandomNetwork(core.NetworkSpec{N: 25, AvgDegree: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "net.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Topology.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out bytes.Buffer
+	cfg := config{seed: 1, source: 0, protocols: "flooding", load: path}
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "n=25") {
+		t.Fatalf("loaded network not reflected:\n%s", out.String())
+	}
+}
+
+func TestRunLoadMissingFile(t *testing.T) {
+	cfg := config{seed: 1, source: 0, protocols: "flooding", load: "/does/not/exist.json"}
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing snapshot must error")
+	}
+}

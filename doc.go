@@ -1,0 +1,14 @@
+// Package clustercast reproduces "A Cluster-Based Backbone Infrastructure
+// for Broadcasting in MANETs" (Wei Lou, Jie Wu, IPDPS 2003): cluster-based
+// static (source-independent) and dynamic (source-dependent) connected-
+// dominating-set backbones for broadcast in mobile ad hoc networks, the
+// MO_CDS baseline, the classic broadcast protocols of the related work, a
+// distributed wire-protocol simulator, and a full experiment harness that
+// regenerates every figure of the paper's evaluation.
+//
+// The implementation lives under internal/; start at internal/core for the
+// high-level API, and see DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduced results. The benchmarks in
+// bench_test.go regenerate one data point per paper figure; the cmd/figures
+// tool runs the full sweeps.
+package clustercast

@@ -1,0 +1,45 @@
+// Distributed: run the paper's wire protocol (HELLO → clustering →
+// CH_HOP1/CH_HOP2 → GATEWAY) on a random network, print the per-type
+// message counts that back the O(n) message-optimality claim, and verify
+// the distributed outcome against the centralized construction.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"reflect"
+
+	"clustercast/internal/core"
+	"clustercast/internal/coverage"
+	"clustercast/internal/graph"
+	"clustercast/internal/sim"
+)
+
+func main() {
+	for _, n := range []int{20, 40, 80, 160} {
+		nw, err := core.NewRandomNetwork(core.NetworkSpec{N: n, AvgDegree: 6, Seed: uint64(n)})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Run the actual message protocol...
+		out := sim.Run(nw.Graph(), coverage.Hop25)
+
+		// ...and check it agrees with the centralized constructions.
+		centralized := nw.StaticBackbone(core.Hop25)
+		if !reflect.DeepEqual(out.Backbone, centralized.Nodes) {
+			log.Fatalf("n=%d: distributed backbone %v != centralized %v",
+				n, graph.SortedMembers(out.Backbone), graph.SortedMembers(centralized.Nodes))
+		}
+		if !reflect.DeepEqual(out.Heads, nw.Heads()) {
+			log.Fatalf("n=%d: clusterheads disagree", n)
+		}
+
+		fmt.Printf("n=%3d  backbone=%2d  msgs/node=%.2f  %s\n",
+			n, len(out.Backbone),
+			float64(out.Counters.Total())/float64(n), out.Counters.String())
+	}
+	fmt.Println("\nmessages per node stay constant as n grows: the construction is message-optimal (O(n)).")
+}

@@ -1,0 +1,86 @@
+// Mobility: why the paper argues for the on-demand dynamic backbone. Nodes
+// move under the random-waypoint model; at every step we re-derive the
+// clustering and static backbone and measure the churn a proactive SI-CDS
+// would have to repair — then show that the dynamic backbone, rebuilt
+// per-broadcast for free, keeps delivering.
+//
+//	go run ./examples/mobility
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustercast/internal/backbone"
+	"clustercast/internal/cluster"
+	"clustercast/internal/core"
+	"clustercast/internal/coverage"
+	"clustercast/internal/rng"
+	"clustercast/internal/topology"
+)
+
+func main() {
+	const (
+		n     = 60
+		d     = 10.0
+		steps = 30
+		speed = 5.0 // area units per step (the area is 100×100)
+	)
+	nw, err := core.NewRandomNetwork(core.NetworkSpec{N: n, AvgDegree: d, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bounds := nw.Topology.Bounds
+	radius := nw.Topology.Radius
+	mob := topology.NewRandomWaypoint(nw.Topology.Positions, bounds, speed/2, speed, 1,
+		rng.NewLabeled(11, "waypoint"))
+	srcStream := rng.NewLabeled(11, "sources")
+
+	prevCl := nw.Clustering
+	prevLCC := nw.Clustering
+	prevBB := nw.StaticBackbone(core.Hop25)
+
+	fmt.Printf("%5s %9s %9s %10s %10s %9s %9s\n",
+		"step", "headΔ", "lccΔ", "backboneΔ", "backbone", "dynFwd", "delivery")
+	totalHeadChanges, totalBBChanges, totalLCC := 0, 0, 0
+	for step := 1; step <= steps; step++ {
+		cur := topology.FromPositions(mob.Step(1), bounds, radius)
+		cl := cluster.LowestID(cur.G)
+		lcc, _ := cluster.Maintain(cur.G, prevLCC)
+		bb := backbone.BuildStatic(cur.G, cl, coverage.Hop25)
+
+		headChanges, lccChanges, bbChanges := 0, 0, 0
+		for v := 0; v < n; v++ {
+			if cl.Head[v] != prevCl.Head[v] {
+				headChanges++
+			}
+			if lcc.Head[v] != prevLCC.Head[v] {
+				lccChanges++
+			}
+			if bb.Nodes[v] != prevBB.Nodes[v] {
+				bbChanges++
+			}
+		}
+		totalHeadChanges += headChanges
+		totalBBChanges += bbChanges
+		totalLCC += lccChanges
+		prevLCC = lcc
+
+		// A broadcast right now, over the *current* dynamic backbone: no
+		// maintenance was needed — gateways are picked on the fly.
+		cnw := core.FromTopology(cur)
+		res := cnw.DynamicBroadcast(core.Hop25, srcStream.Intn(n))
+		fmt.Printf("%5d %9d %9d %10d %10d %9d %8.1f%%\n",
+			step, headChanges, lccChanges, bbChanges, bb.Size(),
+			res.ForwardCount(), 100*res.DeliveryRatio(n))
+
+		prevCl, prevBB = cl, bb
+	}
+	fmt.Printf("\nover %d steps the proactive static backbone changed %d memberships "+
+		"(%.1f per step) and %d cluster affiliations (%.1f per step; LCC incremental "+
+		"repair reduces that to %d) —\nmaintenance traffic the on-demand dynamic "+
+		"backbone never pays.\n",
+		steps, totalBBChanges, float64(totalBBChanges)/steps,
+		totalHeadChanges, float64(totalHeadChanges)/steps, totalLCC)
+	fmt.Println("(delivery below 100% can occur while motion momentarily disconnects the graph.)")
+}

@@ -1,0 +1,3 @@
+module clustercast
+
+go 1.22

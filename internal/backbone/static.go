@@ -1,0 +1,268 @@
+// Package backbone builds the paper's *static backbone*: the cluster-based
+// source-independent CDS consisting of all clusterheads plus the gateways
+// each clusterhead selects to connect every clusterhead in its coverage
+// set.
+//
+// The gateway selection is the paper's greedy heuristic: repeatedly select
+// the neighbor that directly covers the most remaining 2-hop clusterheads,
+// breaking ties by indirect 3-hop coverage and then by lowest ID; when a
+// selected neighbor also covers 3-hop clusterheads indirectly, its relays
+// are selected as well. After C² is exhausted, any remaining 3-hop
+// clusterheads are connected by pairs.
+package backbone
+
+import (
+	"fmt"
+	"sort"
+
+	"clustercast/internal/cluster"
+	"clustercast/internal/coverage"
+	"clustercast/internal/graph"
+)
+
+// Selection is the outcome of one clusterhead's gateway selection: the
+// non-clusterhead nodes it appoints to connect its coverage set.
+type Selection struct {
+	// Head is the selecting clusterhead.
+	Head int
+	// Gateways lists the selected nodes (first-hop gateways and second-hop
+	// relays), ascending.
+	Gateways []int
+	// Covered holds the clusterheads the selection connects to.
+	Covered map[int]bool
+}
+
+// Options tunes the gateway selection for ablation experiments. The zero
+// value is the paper's algorithm.
+type Options struct {
+	// NoIndirectTieBreak disables the paper's tie-breaking rule that
+	// prefers, among neighbors covering equally many 2-hop clusterheads,
+	// the one that indirectly covers more 3-hop clusterheads. With the
+	// rule disabled ties fall straight through to the lowest ID (ABL-TIE).
+	NoIndirectTieBreak bool
+}
+
+// SelectGateways runs the paper's greedy selection for the clusterhead
+// described by cov, restricted to the target sets need2 ⊆ C² and
+// need3 ⊆ C³. Passing nil for either uses the full component, which is the
+// static-backbone case; the dynamic backbone passes the pruned sets.
+//
+// The returned gateway set is sufficient to connect the head to every
+// clusterhead in need2 ∪ need3: each target in need2 is adjacent to a
+// selected gateway adjacent to the head, and each target in need3 is
+// reached through a selected (gateway, relay) pair.
+func SelectGateways(cov *coverage.Coverage, need2, need3 map[int]bool) Selection {
+	return SelectGatewaysOpt(cov, need2, need3, Options{})
+}
+
+// SelectGatewaysOpt is SelectGateways with explicit Options.
+func SelectGatewaysOpt(cov *coverage.Coverage, need2, need3 map[int]bool, opts Options) Selection {
+	c2 := make(map[int]bool)
+	if need2 == nil {
+		for w := range cov.C2 {
+			c2[w] = true
+		}
+	} else {
+		for w, ok := range need2 {
+			if ok && cov.C2[w] {
+				c2[w] = true
+			}
+		}
+	}
+	c3 := make(map[int]bool)
+	if need3 == nil {
+		for w := range cov.C3 {
+			c3[w] = true
+		}
+	} else {
+		for w, ok := range need3 {
+			if ok && cov.C3[w] {
+				c3[w] = true
+			}
+		}
+	}
+
+	sel := Selection{Head: cov.Head, Covered: make(map[int]bool, len(c2)+len(c3))}
+	selected := make(map[int]bool)
+
+	// Candidate neighbors, in ascending order for deterministic ties.
+	candidates := make([]int, 0, len(cov.Direct)+len(cov.Indirect))
+	seen := map[int]bool{}
+	for v := range cov.Direct {
+		if !seen[v] {
+			seen[v] = true
+			candidates = append(candidates, v)
+		}
+	}
+	for v := range cov.Indirect {
+		if !seen[v] {
+			seen[v] = true
+			candidates = append(candidates, v)
+		}
+	}
+	sort.Ints(candidates)
+
+	directGain := func(v int) int {
+		n := 0
+		for _, w := range cov.Direct[v] {
+			if c2[w] {
+				n++
+			}
+		}
+		return n
+	}
+	indirectGain := func(v int) int {
+		n := 0
+		for w := range cov.Indirect[v] {
+			if c3[w] {
+				n++
+			}
+		}
+		return n
+	}
+
+	take := func(v int) {
+		if !selected[v] {
+			selected[v] = true
+		}
+		for _, w := range cov.Direct[v] {
+			if c2[w] {
+				delete(c2, w)
+				sel.Covered[w] = true
+			}
+		}
+		for w, r := range cov.Indirect[v] {
+			if c3[w] {
+				delete(c3, w)
+				sel.Covered[w] = true
+				selected[r] = true
+			}
+		}
+	}
+
+	// Phase 1: greedily exhaust C².
+	for len(c2) > 0 {
+		best, bestD, bestI := -1, 0, 0
+		for _, v := range candidates {
+			d := directGain(v)
+			if d == 0 {
+				continue
+			}
+			i := indirectGain(v)
+			if opts.NoIndirectTieBreak {
+				i = 0
+			}
+			if d > bestD || (d == bestD && i > bestI) {
+				best, bestD, bestI = v, d, i
+			}
+		}
+		if best == -1 {
+			// Unreachable on a valid coverage set: every w ∈ C² is in some
+			// neighbor's Direct list by construction.
+			panic(fmt.Sprintf("backbone: head %d cannot cover %v", cov.Head, graph.SortedMembers(c2)))
+		}
+		take(best)
+	}
+
+	// Phase 2: connect the leftover 3-hop clusterheads with pairs,
+	// preferring pairs that reuse already-selected nodes.
+	for len(c3) > 0 {
+		// Deterministic order: smallest remaining target first.
+		w := -1
+		for x := range c3 {
+			if w == -1 || x < w {
+				w = x
+			}
+		}
+		bestV, bestCost := -1, 3
+		for _, v := range candidates {
+			r, ok := cov.Indirect[v][w]
+			if !ok {
+				continue
+			}
+			cost := 0
+			if !selected[v] {
+				cost++
+			}
+			if !selected[r] {
+				cost++
+			}
+			if cost < bestCost || (cost == bestCost && (bestV == -1 || v < bestV)) {
+				bestV, bestCost = v, cost
+			}
+		}
+		if bestV == -1 {
+			panic(fmt.Sprintf("backbone: head %d cannot reach 3-hop clusterhead %d", cov.Head, w))
+		}
+		selected[bestV] = true
+		selected[cov.Indirect[bestV][w]] = true
+		delete(c3, w)
+		sel.Covered[w] = true
+	}
+
+	sel.Gateways = graph.SortedMembers(selected)
+	return sel
+}
+
+// Static is the assembled static backbone (cluster-based SI-CDS).
+type Static struct {
+	Mode coverage.Mode
+	// Nodes is the backbone membership: all clusterheads plus every
+	// selected gateway.
+	Nodes map[int]bool
+	// Heads lists the clusterheads, ascending.
+	Heads []int
+	// PerHead records each clusterhead's gateway selection.
+	PerHead map[int]Selection
+}
+
+// Size returns the number of backbone nodes (the paper's "size of the
+// CDS", Figure 6).
+func (s *Static) Size() int { return graph.SetSize(s.Nodes) }
+
+// GatewayCount returns the number of non-clusterhead backbone members.
+func (s *Static) GatewayCount() int { return s.Size() - len(s.Heads) }
+
+// BuildStatic constructs the static backbone of a clustered network under
+// the given coverage-set mode.
+func BuildStatic(g *graph.Graph, cl *cluster.Clustering, mode coverage.Mode) *Static {
+	b := coverage.NewBuilder(g, cl, mode)
+	return BuildStaticFrom(b, cl)
+}
+
+// BuildStaticFrom constructs the static backbone reusing an existing
+// coverage builder (so callers can share the builder across algorithms).
+func BuildStaticFrom(b *coverage.Builder, cl *cluster.Clustering) *Static {
+	return BuildStaticOpt(b, cl, Options{})
+}
+
+// BuildStaticOpt is BuildStaticFrom with explicit selection Options.
+func BuildStaticOpt(b *coverage.Builder, cl *cluster.Clustering, opts Options) *Static {
+	s := &Static{
+		Mode:    b.Mode(),
+		Nodes:   make(map[int]bool),
+		Heads:   append([]int(nil), cl.Heads...),
+		PerHead: make(map[int]Selection, len(cl.Heads)),
+	}
+	for _, h := range cl.Heads {
+		s.Nodes[h] = true
+		sel := SelectGatewaysOpt(b.Of(h), nil, nil, opts)
+		s.PerHead[h] = sel
+		for _, v := range sel.Gateways {
+			s.Nodes[v] = true
+		}
+	}
+	return s
+}
+
+// Verify checks Theorem 1: the backbone is a connected dominating set of
+// g (for a connected g) and every selection covers its full coverage set.
+func (s *Static) Verify(g *graph.Graph) error {
+	if !g.IsDominatingSet(s.Nodes) {
+		return fmt.Errorf("backbone: static backbone is not dominating")
+	}
+	if !g.InducedSubgraphConnected(s.Nodes) {
+		return fmt.Errorf("backbone: static backbone is not connected")
+	}
+	return nil
+}

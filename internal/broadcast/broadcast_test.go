@@ -1,0 +1,285 @@
+package broadcast
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clustercast/internal/geom"
+	"clustercast/internal/graph"
+	"clustercast/internal/rng"
+	"clustercast/internal/topology"
+)
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func randomNet(t testing.TB, seed uint64, n int, deg float64) *topology.Network {
+	t.Helper()
+	r := rng.New(seed)
+	nw, err := topology.Generate(topology.Config{
+		N: n, Bounds: geom.Square(100), AvgDegree: deg,
+		RequireConnected: true, MaxAttempts: 500,
+	}, r)
+	if err != nil {
+		t.Skipf("could not generate network: %v", err)
+	}
+	return nw
+}
+
+func TestFloodingReachesEveryone(t *testing.T) {
+	g := pathGraph(6)
+	res := Run(g, 0, Flooding{})
+	if len(res.Received) != 6 {
+		t.Fatalf("flooding delivered to %d/6", len(res.Received))
+	}
+	if res.ForwardCount() != 6 {
+		t.Fatalf("flooding forwarders = %d, want all 6", res.ForwardCount())
+	}
+	if res.Latency != 5 {
+		t.Fatalf("latency = %d, want 5", res.Latency)
+	}
+	if res.DeliveryRatio(6) != 1 {
+		t.Fatalf("delivery ratio = %g", res.DeliveryRatio(6))
+	}
+}
+
+func TestFloodingFromMiddle(t *testing.T) {
+	g := pathGraph(7)
+	res := Run(g, 3, Flooding{})
+	if res.Latency != 3 {
+		t.Fatalf("latency from middle = %d, want 3", res.Latency)
+	}
+}
+
+func TestFloodingDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	res := Run(g, 0, Flooding{})
+	if len(res.Received) != 2 {
+		t.Fatalf("flooding crossed a partition: %v", res.Received)
+	}
+	if res.DeliveryRatio(4) != 0.5 {
+		t.Fatalf("delivery ratio = %g, want 0.5", res.DeliveryRatio(4))
+	}
+}
+
+func TestGossipZeroAndOne(t *testing.T) {
+	nw := randomNet(t, 3, 40, 8)
+	all := Run(nw.G, 0, Gossip{P: 1, Seed: 7})
+	if len(all.Received) != 40 {
+		t.Fatalf("gossip p=1 must behave like flooding: %d/40", len(all.Received))
+	}
+	none := Run(nw.G, 0, Gossip{P: 0, Seed: 7})
+	if none.ForwardCount() != 1 {
+		t.Fatalf("gossip p=0 must have only the source forward: %d", none.ForwardCount())
+	}
+}
+
+func TestGossipDeterministic(t *testing.T) {
+	nw := randomNet(t, 5, 40, 8)
+	a := Run(nw.G, 2, Gossip{P: 0.6, Seed: 11})
+	b := Run(nw.G, 2, Gossip{P: 0.6, Seed: 11})
+	if a.ForwardCount() != b.ForwardCount() || len(a.Received) != len(b.Received) {
+		t.Fatal("gossip with equal seed must replicate exactly")
+	}
+}
+
+func TestStaticCDSForwardsOnlyMembers(t *testing.T) {
+	g := pathGraph(5)
+	set := graph.SetOf(1, 2, 3)
+	res := Run(g, 0, StaticCDS{Set: set, Label: "test-cds"})
+	if len(res.Received) != 5 {
+		t.Fatalf("CDS broadcast should reach everyone: %d/5", len(res.Received))
+	}
+	// Forwarders: source + CDS members.
+	want := graph.SetOf(0, 1, 2, 3)
+	if res.ForwardCount() != 4 {
+		t.Fatalf("forwarders = %v, want %v",
+			graph.SortedMembers(res.Forwarders), graph.SortedMembers(want))
+	}
+	if res.Forwarders[4] {
+		t.Fatal("non-member endpoint must not forward")
+	}
+}
+
+func TestStaticCDSName(t *testing.T) {
+	if (StaticCDS{Label: "mo-cds"}).Name() != "mo-cds" {
+		t.Fatal("label not used")
+	}
+	if (StaticCDS{}).Name() != "static-cds" {
+		t.Fatal("default name wrong")
+	}
+}
+
+func TestMPRSelectionCoversTwoHop(t *testing.T) {
+	nw := randomNet(t, 9, 50, 8)
+	nb := NewNeighborhood(nw.G)
+	m := NewMPR(nb)
+	for v := 0; v < nw.G.N(); v++ {
+		covered := make(map[int]bool)
+		for u := range m.Set(v) {
+			if !nb.N1(v)[u] {
+				t.Fatalf("MPR(%d) contains non-neighbor %d", v, u)
+			}
+			for w := range nb.N1(u) {
+				covered[w] = true
+			}
+		}
+		for w := range nb.N2(v) {
+			if !covered[w] {
+				t.Fatalf("MPR(%d) fails to cover 2-hop node %d", v, w)
+			}
+		}
+	}
+}
+
+func TestNeighborhoodSets(t *testing.T) {
+	g := pathGraph(5)
+	nb := NewNeighborhood(g)
+	if !nb.N1(2)[1] || !nb.N1(2)[3] || nb.N1(2)[2] || nb.N1(2)[0] {
+		t.Fatalf("N1(2) = %v", nb.N1(2))
+	}
+	if !nb.N2(2)[0] || !nb.N2(2)[4] || nb.N2(2)[1] {
+		t.Fatalf("N2(2) = %v", nb.N2(2))
+	}
+	if nb.Graph() != g {
+		t.Fatal("Graph accessor broken")
+	}
+}
+
+func TestGreedyCoverBasic(t *testing.T) {
+	// Candidates: 1 covers {a=10,b=11}, 2 covers {b}, 3 covers {c=12}.
+	cov := map[int]map[int]bool{
+		1: {10: true, 11: true},
+		2: {11: true},
+		3: {12: true},
+	}
+	targets := map[int]bool{10: true, 11: true, 12: true}
+	got := greedyCover(targets, []int{1, 2, 3}, func(c int) map[int]bool { return cov[c] })
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("greedyCover = %v, want [1 3]", got)
+	}
+}
+
+func TestGreedyCoverUncoverable(t *testing.T) {
+	targets := map[int]bool{99: true}
+	got := greedyCover(targets, []int{1}, func(c int) map[int]bool { return nil })
+	if len(got) != 0 {
+		t.Fatalf("uncoverable targets must yield empty selection, got %v", got)
+	}
+}
+
+// deliveryAndEfficiency verifies full delivery on a connected graph and
+// that the protocol forwards no more than flooding.
+func deliveryAndEfficiency(t *testing.T, seed uint64, n int, deg float64, build func(*Neighborhood) Protocol) {
+	t.Helper()
+	nw := randomNet(t, seed, n, deg)
+	nb := NewNeighborhood(nw.G)
+	p := build(nb)
+	r := rng.New(seed ^ 0xabcdef)
+	for trial := 0; trial < 5; trial++ {
+		src := r.Intn(n)
+		res := Run(nw.G, src, p)
+		if len(res.Received) != n {
+			t.Fatalf("%s: delivered %d/%d from source %d (seed %d)",
+				p.Name(), len(res.Received), n, src, seed)
+		}
+		if res.ForwardCount() > n {
+			t.Fatalf("%s: forward count %d exceeds n", p.Name(), res.ForwardCount())
+		}
+	}
+}
+
+func TestMPRFullDelivery(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		deliveryAndEfficiency(t, seed, 50, 8, func(nb *Neighborhood) Protocol { return NewMPR(nb) })
+	}
+}
+
+func TestDPFullDelivery(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		deliveryAndEfficiency(t, seed, 50, 8, func(nb *Neighborhood) Protocol { return NewDP(nb) })
+	}
+}
+
+func TestPDPFullDelivery(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		deliveryAndEfficiency(t, seed, 50, 8, func(nb *Neighborhood) Protocol { return NewPDP(nb) })
+	}
+}
+
+// Property: on dense networks the pruning protocols use far fewer
+// forwarders than flooding, and PDP never reaches fewer nodes than DP
+// covers (both must deliver fully on connected graphs anyway).
+func TestQuickPruningBeatsFlooding(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nw, err := topology.Generate(topology.Config{
+			N: 60, Bounds: geom.Square(100), AvgDegree: 15,
+			RequireConnected: true, MaxAttempts: 300,
+		}, r)
+		if err != nil {
+			return true
+		}
+		nb := NewNeighborhood(nw.G)
+		src := r.Intn(60)
+		flood := Run(nw.G, src, Flooding{})
+		dp := Run(nw.G, src, NewDP(nb))
+		pdp := Run(nw.G, src, NewPDP(nb))
+		mpr := Run(nw.G, src, NewMPR(nb))
+		if len(dp.Received) != 60 || len(pdp.Received) != 60 || len(mpr.Received) != 60 {
+			return false
+		}
+		// On a dense 60-node network, pruning must strictly beat flooding.
+		return dp.ForwardCount() < flood.ForwardCount() &&
+			pdp.ForwardCount() < flood.ForwardCount() &&
+			mpr.ForwardCount() < flood.ForwardCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleNode(t *testing.T) {
+	g := graph.New(1)
+	res := Run(g, 0, Flooding{})
+	if res.ForwardCount() != 1 || len(res.Received) != 1 || res.Latency != 0 {
+		t.Fatalf("single-node broadcast wrong: %+v", res)
+	}
+}
+
+func BenchmarkFlooding100(b *testing.B) {
+	r := rng.New(1)
+	nw, err := topology.Generate(topology.Config{
+		N: 100, Bounds: geom.Square(100), AvgDegree: 18, RequireConnected: true,
+	}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Run(nw.G, i%100, Flooding{})
+	}
+}
+
+func BenchmarkPDP100(b *testing.B) {
+	r := rng.New(1)
+	nw, err := topology.Generate(topology.Config{
+		N: 100, Bounds: geom.Square(100), AvgDegree: 18, RequireConnected: true,
+	}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nb := NewNeighborhood(nw.G)
+	p := NewPDP(nb)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Run(nw.G, i%100, p)
+	}
+}

@@ -1,0 +1,136 @@
+package broadcast
+
+import (
+	"sort"
+
+	"clustercast/internal/graph"
+	"clustercast/internal/rng"
+)
+
+// MACOptions configures the slotted collision model. The paper assumes
+// "all the transmission collision and contention are taken care of at the
+// underground physical and MAC layers"; this engine drops that assumption
+// to show what the broadcast storm actually does: transmissions scheduled
+// in the same slot collide at any receiver that hears more than one, and
+// collided copies are lost (no link-layer retransmission for broadcast
+// frames, as in 802.11).
+type MACOptions struct {
+	// Jitter is the contention window: each forwarder delays its
+	// transmission by a uniform number of slots in [0, Jitter]. Larger
+	// windows spread transmissions out and reduce collisions at a latency
+	// cost — a stand-in for CSMA back-off.
+	Jitter int
+	// Seed drives the jitter draws.
+	Seed uint64
+}
+
+// CollisionResult extends Result with MAC-level accounting.
+type CollisionResult struct {
+	Result
+	// Collisions counts receiver-side collision events (a slot in which a
+	// node heard ≥ 2 transmissions and therefore decoded none).
+	Collisions int
+	// LostCopies counts the individual copies destroyed by collisions.
+	LostCopies int
+}
+
+// RunMAC simulates one broadcast under the slotted collision model. The
+// forwarding policy is the same Protocol interface as the ideal engine;
+// nodes decide on their first successfully decoded copy (and on decoded
+// duplicates, as in RunOpts).
+func RunMAC(g *graph.Graph, source int, p Protocol, opt MACOptions) *CollisionResult {
+	res := &CollisionResult{Result: Result{
+		Source:     source,
+		Forwarders: make(map[int]bool),
+		Received:   make(map[int]bool),
+		Parent:     make(map[int]int),
+	}}
+	res.Received[source] = true
+	res.Forwarders[source] = true
+
+	jitter := rng.NewLabeled(opt.Seed, "mac-jitter")
+	draw := func() int {
+		if opt.Jitter <= 0 {
+			return 0
+		}
+		return jitter.Intn(opt.Jitter + 1)
+	}
+
+	acted := make(map[int]map[Packet]bool)
+	mark := func(v int, pkt Packet) {
+		m := acted[v]
+		if m == nil {
+			m = make(map[Packet]bool)
+			acted[v] = m
+		}
+		m[pkt] = true
+	}
+
+	type tx struct {
+		sender int
+		pkt    Packet
+	}
+	// slots[t] holds the transmissions scheduled for slot t.
+	slots := map[int][]tx{}
+	start := p.Start(source)
+	mark(source, start)
+	slots[0] = append(slots[0], tx{source, start})
+	pending := 1
+
+	for t := 0; pending > 0; t++ {
+		batch := slots[t]
+		if len(batch) == 0 {
+			continue
+		}
+		pending -= len(batch)
+		delete(slots, t)
+		// Receiver-side resolution: count transmitting neighbors per node.
+		heardBy := map[int][]tx{}
+		for _, x := range batch {
+			for _, v := range g.Neighbors(x.sender) {
+				heardBy[v] = append(heardBy[v], x)
+			}
+		}
+		// Receivers process in ascending order for determinism (protocol
+		// state mutations must not depend on map iteration order).
+		receivers := make([]int, 0, len(heardBy))
+		for v := range heardBy {
+			receivers = append(receivers, v)
+		}
+		sort.Ints(receivers)
+		for _, v := range receivers {
+			copies := heardBy[v]
+			if len(copies) > 1 {
+				res.Collisions++
+				res.LostCopies += len(copies)
+				continue // all copies destroyed at this receiver
+			}
+			x := copies[0]
+			var forward bool
+			var out Packet
+			if !res.Received[v] {
+				res.Received[v] = true
+				res.Parent[v] = x.sender
+				if t+1 > res.Latency {
+					res.Latency = t + 1
+				}
+				forward, out = p.OnReceive(v, x.sender, x.pkt)
+			} else {
+				res.Duplicates++
+				if acted[v][x.pkt] {
+					continue
+				}
+				forward, out = p.OnDuplicate(v, x.sender, x.pkt)
+			}
+			if forward {
+				res.Forwarders[v] = true
+				mark(v, x.pkt)
+				mark(v, out)
+				slot := t + 1 + draw()
+				slots[slot] = append(slots[slot], tx{v, out})
+				pending++
+			}
+		}
+	}
+	return res
+}

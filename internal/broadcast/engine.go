@@ -1,0 +1,225 @@
+// Package broadcast provides a network-layer broadcast simulation engine
+// for unit-disk-graph MANETs, plus the classic forwarding protocols the
+// paper's related-work section discusses: blind flooding, probabilistic
+// gossip, static-CDS forwarding (used for both the cluster-based SI-CDS and
+// the MO_CDS baseline), multipoint relaying (MPR), dominant pruning (DP)
+// and partial dominant pruning (PDP).
+//
+// The engine follows the paper's evaluation model: only network-layer
+// traffic is simulated; the MAC/PHY layers are assumed to resolve collision
+// and contention. A transmission by node x is received simultaneously by
+// every neighbor of x one time unit later. Each node transmits a given
+// packet at most once.
+//
+// Forwarding decisions are made when a node receives the packet for the
+// first time; protocols whose senders *designate* forwarders (SD-CDS,
+// dominant pruning, MPR) additionally get a chance on duplicate copies,
+// because a node may hear its first copy from a transmission that does not
+// designate it and only later be named a forward node.
+package broadcast
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"clustercast/internal/graph"
+	"clustercast/internal/rng"
+)
+
+// Packet is the protocol-specific payload piggybacked on a transmission.
+// The engine treats it as opaque.
+type Packet interface{}
+
+// Protocol decides which receivers forward a broadcast packet.
+type Protocol interface {
+	// Name identifies the protocol in experiment output.
+	Name() string
+	// Start returns the payload the source attaches to its initial
+	// transmission.
+	Start(source int) Packet
+	// OnReceive is invoked when node v receives the packet for the first
+	// time from neighbor x carrying payload pkt. It reports whether v
+	// forwards the packet and, if so, the payload v attaches.
+	OnReceive(v, x int, pkt Packet) (forward bool, out Packet)
+	// OnDuplicate is invoked when v, which has already received the packet
+	// but not forwarded it, hears another copy. Returning true upgrades v
+	// to a forwarder. Protocols without sender-side designation simply
+	// return false.
+	OnDuplicate(v, x int, pkt Packet) (forward bool, out Packet)
+}
+
+// Result summarizes one simulated broadcast.
+type Result struct {
+	Source int
+	// Forwarders holds every node that transmitted the packet, including
+	// the source. len(Forwarders) is the paper's "size of the forward node
+	// set".
+	Forwarders map[int]bool
+	// Received holds every node that received (or originated) the packet.
+	Received map[int]bool
+	// Latency is the time unit at which the last node received the packet
+	// (0 when nothing was delivered beyond the source).
+	Latency int
+	// Parent records, for every node that received the packet (except the
+	// source), the neighbor whose transmission delivered the first copy.
+	// Following Parent pointers from any receiver reaches the source: the
+	// delivery tree of the broadcast.
+	Parent map[int]int
+	// Duplicates counts redundant receptions: copies delivered to nodes
+	// that already had the packet. The broadcast storm problem (Ni et al.)
+	// is exactly this number exploding with density — flooding a clique of
+	// n nodes yields n·(n−2)+1 duplicates, a CDS backbone only a handful.
+	Duplicates int
+}
+
+// Redundancy returns the average number of redundant copies per reached
+// node (0 when nothing was delivered beyond the source).
+func (r *Result) Redundancy() float64 {
+	if len(r.Received) == 0 {
+		return 0
+	}
+	return float64(r.Duplicates) / float64(len(r.Received))
+}
+
+// ForwardCount returns the size of the forward node set.
+func (r *Result) ForwardCount() int { return len(r.Forwarders) }
+
+// DeliveryRatio returns the fraction of the n nodes that received the
+// packet.
+func (r *Result) DeliveryRatio(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(len(r.Received)) / float64(n)
+}
+
+// transmission is one queued radio transmission.
+type transmission struct {
+	sender int
+	pkt    Packet
+	time   int
+}
+
+// Options tunes the radio model of a simulated broadcast. The zero value
+// is the paper's ideal model (every transmission reaches every neighbor).
+type Options struct {
+	// Loss is the independent per-link, per-transmission loss
+	// probability. The paper assumes the MAC/PHY layers deliver
+	// everything; the lossy model quantifies how much protocol redundancy
+	// buys reliability (ABL-LOSSY).
+	Loss float64
+	// Seed drives the loss coin flips; equal seeds replicate exactly.
+	Seed uint64
+}
+
+// Run simulates one broadcast from source over g under the protocol with
+// the ideal radio model.
+//
+// A node relays at most once per distinct received payload: a designated
+// forward node that has already transmitted (e.g. the broadcast source
+// itself, later named a gateway by its clusterhead) relays again when a new
+// designating payload arrives, exactly as a real node would treat the
+// upstream's forward request. This keeps the simulation finite — payload
+// identities are only minted by OnReceive decisions, each node acts on each
+// payload once — while preserving the designation semantics the SD-CDS,
+// MPR and dominant-pruning protocols rely on.
+func Run(g *graph.Graph, source int, p Protocol) *Result {
+	return RunOpts(g, source, p, Options{})
+}
+
+// RunOpts is Run with an explicit radio model.
+func RunOpts(g *graph.Graph, source int, p Protocol, opt Options) *Result {
+	res := &Result{
+		Source:     source,
+		Forwarders: make(map[int]bool),
+		Received:   make(map[int]bool),
+		Parent:     make(map[int]int),
+	}
+	res.Received[source] = true
+	res.Forwarders[source] = true
+	// acted[v] records the payloads v has already relayed (or originated),
+	// so a payload loops through each node at most once.
+	acted := make(map[int]map[Packet]bool)
+	mark := func(v int, pkt Packet) {
+		m := acted[v]
+		if m == nil {
+			m = make(map[Packet]bool)
+			acted[v] = m
+		}
+		m[pkt] = true
+	}
+	var loss *rng.Stream
+	if opt.Loss > 0 {
+		loss = rng.NewLabeled(opt.Seed, "radio-loss")
+	}
+	start := p.Start(source)
+	mark(source, start)
+	queue := []transmission{{sender: source, pkt: start, time: 0}}
+	for len(queue) > 0 {
+		tx := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(tx.sender) {
+			if loss != nil && loss.Bool(opt.Loss) {
+				continue // this copy was lost on the air
+			}
+			var forward bool
+			var out Packet
+			if !res.Received[v] {
+				res.Received[v] = true
+				res.Parent[v] = tx.sender
+				if tx.time+1 > res.Latency {
+					res.Latency = tx.time + 1
+				}
+				forward, out = p.OnReceive(v, tx.sender, tx.pkt)
+			} else {
+				res.Duplicates++
+				if acted[v][tx.pkt] {
+					continue
+				}
+				forward, out = p.OnDuplicate(v, tx.sender, tx.pkt)
+			}
+			if forward {
+				res.Forwarders[v] = true
+				mark(v, tx.pkt)
+				mark(v, out)
+				queue = append(queue, transmission{sender: v, pkt: out, time: tx.time + 1})
+			}
+		}
+	}
+	return res
+}
+
+// NoDuplicates is a mixin for protocols that never act on duplicate
+// copies.
+type NoDuplicates struct{}
+
+// OnDuplicate implements Protocol by always declining.
+func (NoDuplicates) OnDuplicate(v, x int, pkt Packet) (bool, Packet) { return false, nil }
+
+// DeliveryTreeDOT renders the broadcast's delivery tree (first-reception
+// parent pointers) in Graphviz DOT format, with forwarders filled. Output
+// is deterministic.
+func (r *Result) DeliveryTreeDOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", name)
+	nodes := make([]int, 0, len(r.Received))
+	for v := range r.Received {
+		nodes = append(nodes, v)
+	}
+	sort.Ints(nodes)
+	for _, v := range nodes {
+		if r.Forwarders[v] {
+			fmt.Fprintf(&b, "  %d [style=filled fillcolor=black fontcolor=white];\n", v)
+		} else {
+			fmt.Fprintf(&b, "  %d;\n", v)
+		}
+	}
+	for _, v := range nodes {
+		if p, ok := r.Parent[v]; ok {
+			fmt.Fprintf(&b, "  %d -> %d;\n", p, v)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

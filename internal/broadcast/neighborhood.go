@@ -1,0 +1,83 @@
+package broadcast
+
+import (
+	"sort"
+
+	"clustercast/internal/graph"
+)
+
+// Neighborhood caches the 1-hop and 2-hop neighbor sets the
+// neighbor-designating protocols (MPR, DP, PDP) rely on. In a real MANET
+// this is exactly the knowledge two rounds of HELLO exchanges provide.
+type Neighborhood struct {
+	g  *graph.Graph
+	n1 []map[int]bool // open 1-hop neighborhoods
+	n2 []map[int]bool // nodes at distance exactly 2
+}
+
+// NewNeighborhood digests g.
+func NewNeighborhood(g *graph.Graph) *Neighborhood {
+	n := g.N()
+	nb := &Neighborhood{g: g, n1: make([]map[int]bool, n), n2: make([]map[int]bool, n)}
+	for v := 0; v < n; v++ {
+		m := make(map[int]bool, g.Degree(v))
+		for _, u := range g.Neighbors(v) {
+			m[u] = true
+		}
+		nb.n1[v] = m
+	}
+	for v := 0; v < n; v++ {
+		m := make(map[int]bool)
+		for _, u := range g.Neighbors(v) {
+			for _, w := range g.Neighbors(u) {
+				if w != v && !nb.n1[v][w] {
+					m[w] = true
+				}
+			}
+		}
+		nb.n2[v] = m
+	}
+	return nb
+}
+
+// Graph returns the underlying graph.
+func (nb *Neighborhood) Graph() *graph.Graph { return nb.g }
+
+// N1 returns the open 1-hop neighborhood of v (owned by the cache).
+func (nb *Neighborhood) N1(v int) map[int]bool { return nb.n1[v] }
+
+// N2 returns the set of nodes at distance exactly 2 from v (owned by the
+// cache).
+func (nb *Neighborhood) N2(v int) map[int]bool { return nb.n2[v] }
+
+// greedyCover selects, from the sorted candidate list, a minimal-ish set of
+// candidates whose neighborhoods cover all targets: repeatedly the
+// candidate covering the most uncovered targets (ties to the lowest ID).
+// Targets no candidate can cover are ignored (they are unreachable for the
+// caller's purposes). The input targets map is consumed.
+func greedyCover(targets map[int]bool, candidates []int, coverage func(c int) map[int]bool) []int {
+	var out []int
+	for len(targets) > 0 {
+		best, bestGain := -1, 0
+		for _, c := range candidates {
+			gain := 0
+			for w := range coverage(c) {
+				if targets[w] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = c, gain
+			}
+		}
+		if best == -1 {
+			break // leftover targets are uncoverable
+		}
+		out = append(out, best)
+		for w := range coverage(best) {
+			delete(targets, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

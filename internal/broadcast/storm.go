@@ -1,0 +1,89 @@
+package broadcast
+
+import (
+	"fmt"
+
+	"clustercast/internal/geom"
+)
+
+// CounterBased implements the counter-based scheme of the broadcast storm
+// paper (Ni, Tseng, Chen, Sheu — the paper's [9]): a node waits a random
+// back-off and forwards only if it overheard fewer than Threshold copies.
+// The intuition: after c copies, the expected additional coverage of one
+// more transmission is marginal (the paper's analysis puts the knee at
+// c ≈ 3–4).
+type CounterBased struct {
+	// Threshold is the copy count at which a node resigns (≥ 1).
+	Threshold int
+	// MaxDelay is the back-off window in time units.
+	MaxDelay int
+	// Seed drives the per-node delay draw.
+	Seed uint64
+}
+
+var _ TimedProtocol = CounterBased{}
+
+// Name implements TimedProtocol.
+func (c CounterBased) Name() string { return fmt.Sprintf("counter(%d)", c.Threshold) }
+
+// Delay implements TimedProtocol.
+func (c CounterBased) Delay(v int) int {
+	if c.MaxDelay <= 0 {
+		return 0
+	}
+	h := c.Seed ^ (uint64(v)+1)*0x9E3779B97F4A7C15
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return int(h % uint64(c.MaxDelay+1))
+}
+
+// Decide implements TimedProtocol: forward iff fewer than Threshold copies
+// were overheard during the back-off.
+func (c CounterBased) Decide(v int, heard []int) bool {
+	return len(heard) < c.Threshold
+}
+
+// DistanceBased implements the distance-based scheme of the same paper: a
+// node forwards only when every transmitter it overheard is closer than
+// MinDistance — a nearby transmitter's disk already covers almost all of
+// the node's own disk, so relaying adds little area.
+type DistanceBased struct {
+	// Positions are the node coordinates (the scheme needs geometry).
+	Positions []geom.Point
+	// MinDistance is the threshold: resign when some heard transmitter is
+	// closer than this.
+	MinDistance float64
+	// MaxDelay and Seed configure the back-off as in CounterBased.
+	MaxDelay int
+	Seed     uint64
+}
+
+var _ TimedProtocol = DistanceBased{}
+
+// Name implements TimedProtocol.
+func (d DistanceBased) Name() string { return fmt.Sprintf("distance(%.1f)", d.MinDistance) }
+
+// Delay implements TimedProtocol.
+func (d DistanceBased) Delay(v int) int {
+	if d.MaxDelay <= 0 {
+		return 0
+	}
+	h := d.Seed ^ (uint64(v)+1)*0x9E3779B97F4A7C15
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return int(h % uint64(d.MaxDelay+1))
+}
+
+// Decide implements TimedProtocol: forward iff all heard transmitters are
+// at least MinDistance away.
+func (d DistanceBased) Decide(v int, heard []int) bool {
+	pv := d.Positions[v]
+	for _, x := range heard {
+		if pv.Dist(d.Positions[x]) < d.MinDistance {
+			return false
+		}
+	}
+	return true
+}

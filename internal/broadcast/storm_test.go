@@ -1,0 +1,98 @@
+package broadcast
+
+import (
+	"testing"
+
+	"clustercast/internal/graph"
+	"clustercast/internal/rng"
+)
+
+func TestCounterBasedThresholdOneIsMinimal(t *testing.T) {
+	// Threshold 1: every node overheard ≥1 copy (the one that delivered
+	// the packet), so nobody but the source forwards.
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	res := RunTimed(g, 0, CounterBased{Threshold: 1, MaxDelay: 2, Seed: 1})
+	if res.ForwardCount() != 1 {
+		t.Fatalf("threshold 1 should silence everyone: %d forwarders", res.ForwardCount())
+	}
+	if len(res.Received) == g.N() {
+		t.Fatal("threshold 1 on a path cannot deliver past the first hop")
+	}
+}
+
+func TestCounterBasedHighThresholdFloods(t *testing.T) {
+	nw := randomNet(t, 71, 50, 10)
+	res := RunTimed(nw.G, 0, CounterBased{Threshold: 1000, MaxDelay: 2, Seed: 1})
+	if len(res.Received) != 50 || res.ForwardCount() != 50 {
+		t.Fatalf("huge threshold must behave like flooding: %d received, %d forwarded",
+			len(res.Received), res.ForwardCount())
+	}
+}
+
+func TestCounterBasedKneeTradesDeliveryForCost(t *testing.T) {
+	// The storm paper's knee: c=3..4 keeps delivery high while cutting
+	// forwarders substantially on dense networks.
+	root := rng.New(8)
+	var fwd3, recv3 int
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		nw := randomNet(t, 300+uint64(i), 80, 18)
+		src := root.Intn(80)
+		r3 := RunTimed(nw.G, src, CounterBased{Threshold: 3, MaxDelay: 4, Seed: uint64(i)})
+		fwd3 += r3.ForwardCount()
+		recv3 += len(r3.Received)
+	}
+	if recv3 < trials*80*95/100 {
+		t.Fatalf("counter(3) delivery too low: %d/%d", recv3, trials*80)
+	}
+	if fwd3 >= trials*80*2/3 {
+		t.Fatalf("counter(3) should cut forwarders on dense nets: %d of %d", fwd3, trials*80)
+	}
+	t.Logf("counter(3): delivered %d/%d with %d forwarders", recv3, trials*80, fwd3)
+}
+
+func TestDistanceBasedZeroThresholdFloods(t *testing.T) {
+	nw := randomNet(t, 73, 50, 10)
+	res := RunTimed(nw.G, 0, DistanceBased{
+		Positions: nw.Positions, MinDistance: 0, MaxDelay: 2, Seed: 1,
+	})
+	if len(res.Received) != 50 {
+		t.Fatalf("distance 0 must flood: %d received", len(res.Received))
+	}
+}
+
+func TestDistanceBasedPrunesCloseNodes(t *testing.T) {
+	root := rng.New(9)
+	var fwd, recv, floodFwd int
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		nw := randomNet(t, 400+uint64(i), 80, 18)
+		src := root.Intn(80)
+		res := RunTimed(nw.G, src, DistanceBased{
+			Positions:   nw.Positions,
+			MinDistance: nw.Radius * 0.4,
+			MaxDelay:    4,
+			Seed:        uint64(i),
+		})
+		fwd += res.ForwardCount()
+		recv += len(res.Received)
+		floodFwd += 80
+	}
+	if fwd >= floodFwd {
+		t.Fatalf("distance-based should prune: %d vs %d", fwd, floodFwd)
+	}
+	if recv < trials*80*9/10 {
+		t.Fatalf("distance-based delivery too low: %d/%d", recv, trials*80)
+	}
+	t.Logf("distance(0.4r): delivered %d/%d with %d forwarders (flooding: %d)",
+		recv, trials*80, fwd, floodFwd)
+}
+
+func TestStormSchemeNames(t *testing.T) {
+	if (CounterBased{Threshold: 3}).Name() != "counter(3)" {
+		t.Fatal("counter name")
+	}
+	if (DistanceBased{MinDistance: 2.5}).Name() != "distance(2.5)" {
+		t.Fatal("distance name")
+	}
+}

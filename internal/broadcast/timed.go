@@ -1,0 +1,166 @@
+package broadcast
+
+import (
+	"container/heap"
+
+	"clustercast/internal/graph"
+)
+
+// TimedProtocol is the interface for protocols that defer their forwarding
+// decision — the paper's first pruning technique (§3): "if it can back-off
+// a short period of time before it relays the packet, it may receive more
+// copies of the same packet ... if all of its neighbors can be covered by
+// these already received broadcast copies, it can resign its role".
+//
+// When a node first receives the packet, Delay returns how many time units
+// it waits. During the wait the engine keeps delivering duplicate copies;
+// when the timer fires, Decide sees every transmitter heard so far and
+// rules on forwarding.
+type TimedProtocol interface {
+	// Name identifies the protocol in experiment output.
+	Name() string
+	// Delay returns the back-off (in whole time units, ≥ 0) node v applies
+	// before deciding. Deterministic protocols derive it from v.
+	Delay(v int) int
+	// Decide is called when v's back-off expires; heard lists every
+	// neighbor whose transmission v received so far (in receive order).
+	// Returning true makes v transmit.
+	Decide(v int, heard []int) bool
+}
+
+// timedEvent is an entry of the simulation's time-ordered queue.
+type timedEvent struct {
+	time int
+	seq  int // FIFO tie-break for equal times
+	// kind 0: transmission by node; kind 1: decision timeout at node.
+	kind int
+	node int
+}
+
+// eventQueue is a min-heap over (time, seq).
+type eventQueue []timedEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(timedEvent)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// RunTimed simulates one broadcast under a back-off protocol. Transmission
+// takes one time unit; the source transmits at time 0 unconditionally.
+func RunTimed(g *graph.Graph, source int, p TimedProtocol) *Result {
+	res := &Result{
+		Source:     source,
+		Forwarders: map[int]bool{source: true},
+		Received:   map[int]bool{source: true},
+		Parent:     make(map[int]int),
+	}
+	heard := make(map[int][]int)
+	decided := map[int]bool{source: true}
+
+	var q eventQueue
+	seq := 0
+	push := func(t, kind, node int) {
+		heap.Push(&q, timedEvent{time: t, seq: seq, kind: kind, node: node})
+		seq++
+	}
+	push(0, 0, source)
+
+	for q.Len() > 0 {
+		ev := heap.Pop(&q).(timedEvent)
+		switch ev.kind {
+		case 0: // transmission
+			for _, v := range g.Neighbors(ev.node) {
+				heard[v] = append(heard[v], ev.node)
+				if res.Received[v] {
+					res.Duplicates++
+				}
+				if !res.Received[v] {
+					res.Received[v] = true
+					res.Parent[v] = ev.node
+					if ev.time+1 > res.Latency {
+						res.Latency = ev.time + 1
+					}
+					// Schedule the decision after the back-off.
+					push(ev.time+1+p.Delay(v), 1, v)
+				}
+			}
+		case 1: // decision timeout
+			v := ev.node
+			if decided[v] {
+				break
+			}
+			decided[v] = true
+			if p.Decide(v, heard[v]) {
+				res.Forwarders[v] = true
+				push(ev.time, 0, v)
+			}
+		}
+	}
+	return res
+}
+
+// SBA is neighbor-coverage self-pruning with back-off (in the spirit of
+// Peng & Lu's scalable broadcast algorithm, and exactly the paper's §3
+// back-off discussion): after a deterministic pseudo-random delay, a node
+// forwards only when the transmissions it has overheard do not already
+// cover its whole neighborhood.
+type SBA struct {
+	nb *Neighborhood
+	// MaxDelay bounds the back-off window (time units). Larger windows
+	// prune more (more copies overheard) at the price of latency.
+	MaxDelay int
+	// Seed drives the per-node delay draw.
+	Seed uint64
+}
+
+// NewSBA builds the protocol over a neighborhood cache.
+func NewSBA(nb *Neighborhood, maxDelay int, seed uint64) *SBA {
+	return &SBA{nb: nb, MaxDelay: maxDelay, Seed: seed}
+}
+
+// Name implements TimedProtocol.
+func (s *SBA) Name() string { return "sba" }
+
+// Delay implements TimedProtocol: a deterministic per-node draw from
+// [0, MaxDelay].
+func (s *SBA) Delay(v int) int {
+	if s.MaxDelay <= 0 {
+		return 0
+	}
+	h := s.Seed ^ (uint64(v)+1)*0x9E3779B97F4A7C15
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return int(h % uint64(s.MaxDelay+1))
+}
+
+// Decide implements TimedProtocol: forward iff some neighbor is not
+// covered by the senders heard so far (a neighbor x is covered when it is
+// a heard sender itself or adjacent to one).
+func (s *SBA) Decide(v int, heard []int) bool {
+	covered := make(map[int]bool, 8)
+	for _, x := range heard {
+		covered[x] = true
+		for w := range s.nb.N1(x) {
+			covered[w] = true
+		}
+	}
+	for _, w := range s.nb.Graph().Neighbors(v) {
+		if !covered[w] {
+			return true
+		}
+	}
+	return false
+}

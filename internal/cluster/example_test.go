@@ -1,0 +1,42 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"clustercast/internal/cluster"
+	"clustercast/internal/graph"
+)
+
+// Lowest-ID clustering on the paper's Figure 3 network: nodes 1–4 (0-based
+// 0–3) become clusterheads.
+func ExampleLowestID() {
+	edges := [][2]int{
+		{0, 4}, {0, 5}, {0, 6}, {1, 5}, {1, 7},
+		{2, 6}, {2, 7}, {2, 8}, {2, 9}, {3, 8}, {3, 9}, {4, 8},
+	}
+	g := graph.FromEdges(10, edges)
+	cl := cluster.LowestID(g)
+	fmt.Println("clusterheads:", cl.Heads)
+	fmt.Println("node 8's cluster:", cl.Head[8])
+	fmt.Println("valid:", cl.Validate(g) == nil)
+	// Output:
+	// clusterheads: [0 1 2 3]
+	// node 8's cluster: 2
+	// valid: true
+}
+
+// Incremental maintenance keeps roles stable when the topology barely
+// changes: adding one edge between members changes nothing.
+func ExampleMaintain() {
+	g1 := graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	cl := cluster.LowestID(g1)
+
+	g2 := g1.Clone()
+	g2.AddEdge(1, 3) // two members meet: no role changes needed
+	next, st := cluster.Maintain(g2, cl)
+	fmt.Println("changes:", st.Total())
+	fmt.Println("heads unchanged:", fmt.Sprint(next.Heads) == fmt.Sprint(cl.Heads))
+	// Output:
+	// changes: 0
+	// heads unchanged: true
+}

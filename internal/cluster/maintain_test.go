@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clustercast/internal/geom"
+	"clustercast/internal/graph"
+	"clustercast/internal/rng"
+	"clustercast/internal/topology"
+)
+
+func TestMaintainNoChange(t *testing.T) {
+	g := graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	cl := LowestID(g)
+	next, st := Maintain(g, cl)
+	if st.Total() != 0 {
+		t.Fatalf("unchanged graph must produce zero churn: %+v", st)
+	}
+	if err := next.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	for v := range cl.Head {
+		if next.Head[v] != cl.Head[v] {
+			t.Fatalf("node %d head changed without topology change", v)
+		}
+	}
+}
+
+func TestMaintainReaffiliation(t *testing.T) {
+	// Path 0-1-2-3-4: heads {0,2,4}; 1∈0, 3∈2. Remove edge 3-2, add 3-4...
+	// simulate by constructing the new graph directly: 3 loses head 2 but
+	// gains no new adjacency — wait, 3 is adjacent to 4 (a head): it must
+	// re-affiliate to 4.
+	g2 := graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	prev := LowestID(graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}))
+	next, st := Maintain(g2, prev)
+	if err := next.Validate(g2); err != nil {
+		t.Fatal(err)
+	}
+	if next.Head[3] != 4 {
+		t.Fatalf("node 3 should re-affiliate to head 4, got %d", next.Head[3])
+	}
+	if st.Reaffiliated != 1 || st.Promoted != 0 || st.Demoted != 0 {
+		t.Fatalf("stats = %+v, want exactly one reaffiliation", st)
+	}
+}
+
+func TestMaintainPromotion(t *testing.T) {
+	// Node 3 drifts out of range of everyone: must promote itself.
+	g2 := graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 4}})
+	prev := LowestID(graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}))
+	next, st := Maintain(g2, prev)
+	if err := next.Validate(g2); err != nil {
+		t.Fatal(err)
+	}
+	if next.Head[3] != 3 {
+		t.Fatalf("isolated node 3 must promote itself, head = %d", next.Head[3])
+	}
+	if st.Promoted == 0 {
+		t.Fatalf("stats = %+v, want a promotion", st)
+	}
+}
+
+func TestMaintainDemotion(t *testing.T) {
+	// Heads 0 and 2 of the 5-path move adjacent: 2 must demote.
+	prev := LowestID(graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}))
+	g2 := graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 2}})
+	next, st := Maintain(g2, prev)
+	if err := next.Validate(g2); err != nil {
+		t.Fatal(err)
+	}
+	if next.Head[2] == 2 {
+		t.Fatal("head 2 adjacent to lower head 0 must demote")
+	}
+	if st.Demoted != 1 {
+		t.Fatalf("stats = %+v, want one demotion", st)
+	}
+}
+
+func TestMaintainPanicsOnSizeMismatch(t *testing.T) {
+	prev := LowestID(graph.New(3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch must panic")
+		}
+	}()
+	Maintain(graph.New(4), prev)
+}
+
+// Property: after arbitrary topology changes, Maintain yields a valid
+// clustering of the new graph.
+func TestQuickMaintainValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nw1, err := topology.Generate(topology.Config{
+			N: 40, Bounds: geom.Square(100), AvgDegree: 8, MaxAttempts: 200,
+		}, r)
+		if err != nil {
+			return true
+		}
+		prev := LowestID(nw1.G)
+		// Perturb positions (teleport 25% of nodes) and rebuild the graph.
+		pos := append([]geom.Point(nil), nw1.Positions...)
+		for i := 0; i < len(pos)/4; i++ {
+			pos[r.Intn(len(pos))] = geom.Point{X: r.Range(0, 100), Y: r.Range(0, 100)}
+		}
+		nw2 := topology.FromPositions(pos, nw1.Bounds, nw1.Radius)
+		next, _ := Maintain(nw2.G, prev)
+		return next.Validate(nw2.G) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under small motion, incremental maintenance churns (many
+// times) less than re-electing from scratch, measured as the number of
+// nodes whose head assignment changes.
+func TestMaintainChurnsLessThanReelection(t *testing.T) {
+	root := rng.New(4242)
+	totalLCC, totalFresh := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		nw1, err := topology.Generate(topology.Config{
+			N: 60, Bounds: geom.Square(100), AvgDegree: 10,
+			RequireConnected: true, MaxAttempts: 300,
+		}, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := LowestID(nw1.G)
+		// Small jitter: every node moves by ~2 units.
+		pos := append([]geom.Point(nil), nw1.Positions...)
+		for i := range pos {
+			pos[i] = nw1.Bounds.Clamp(geom.Point{
+				X: pos[i].X + root.NormFloat64()*2,
+				Y: pos[i].Y + root.NormFloat64()*2,
+			})
+		}
+		nw2 := topology.FromPositions(pos, nw1.Bounds, nw1.Radius)
+		lcc, _ := Maintain(nw2.G, prev)
+		fresh := LowestID(nw2.G)
+		for v := 0; v < 60; v++ {
+			if lcc.Head[v] != prev.Head[v] {
+				totalLCC++
+			}
+			if fresh.Head[v] != prev.Head[v] {
+				totalFresh++
+			}
+		}
+	}
+	if totalLCC > totalFresh {
+		t.Fatalf("LCC churn %d exceeds re-election churn %d", totalLCC, totalFresh)
+	}
+	t.Logf("head-assignment changes over 20 jitters: LCC=%d, re-election=%d", totalLCC, totalFresh)
+}

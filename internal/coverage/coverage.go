@@ -1,0 +1,248 @@
+// Package coverage computes clusterhead coverage sets, the paper's central
+// data structure.
+//
+// A clusterhead u's coverage set C(u) = C²(u) ∪ C³(u) consists of the
+// clusterheads u must connect to through selected gateways:
+//
+//   - C²(u): clusterheads exactly 2 hops from u (always included),
+//   - C³(u): clusterheads 3 hops from u, where the two coverage-area
+//     variants differ:
+//
+// With the 3-hop coverage set, C³(u) holds every clusterhead exactly 3 hops
+// away. With the cheaper 2.5-hop coverage set, C³(u) only holds
+// clusterheads w that have a *cluster member* within N²(u) — exactly the
+// information the CH_HOP1/CH_HOP2 message exchange of the paper gathers:
+// CH_HOP1(v) carries v's 1-hop neighboring clusterheads, and CH_HOP2(v)
+// carries v's 2-hop clusterhead entries "w[r]" (w reachable via relay r,
+// where — in the 2.5-hop variant — r is a member of w's cluster).
+//
+// Alongside the sets themselves the package records the connector
+// bookkeeping the gateway selection needs: which neighbor v of u directly
+// covers which 2-hop clusterheads (w ∈ CH_HOP1(v)) and which (v, r) pair
+// reaches which 3-hop clusterhead (w[r] ∈ CH_HOP2(v)).
+package coverage
+
+import (
+	"sort"
+
+	"clustercast/internal/cluster"
+	"clustercast/internal/graph"
+)
+
+// Mode selects the coverage-area variant.
+type Mode uint8
+
+const (
+	// Hop25 is the 2.5-hop coverage set: C³ restricted to clusterheads
+	// with a member in N²(u). Cheaper to maintain; the cluster graph may be
+	// genuinely directed.
+	Hop25 Mode = iota
+	// Hop3 is the full 3-hop coverage set: C³ holds every clusterhead at
+	// distance exactly 3. The cluster graph is symmetric.
+	Hop3
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Hop25:
+		return "2.5-hop"
+	case Hop3:
+		return "3-hop"
+	default:
+		return "unknown"
+	}
+}
+
+// Coverage is the coverage set of one clusterhead together with the
+// connector bookkeeping used by gateway selection.
+type Coverage struct {
+	Head int
+	Mode Mode
+
+	// C2 and C3 are the 2-hop and 3-hop components of the coverage set.
+	// They are disjoint: a clusterhead in both is kept only in C2.
+	C2 map[int]bool
+	C3 map[int]bool
+
+	// Direct[v] lists, sorted, the clusterheads of C2 that neighbor v of
+	// the head covers directly (v is adjacent to them).
+	Direct map[int][]int
+
+	// Indirect[v] maps a 3-hop clusterhead w ∈ C3 to the relay r such that
+	// head—v—r—w is a connecting path (r chosen as the lowest-ID relay,
+	// mirroring the "first entry wins" rule of the CH_HOP2 construction).
+	Indirect map[int]map[int]int
+}
+
+// Set returns C(u) = C² ∪ C³ as a fresh membership map.
+func (c *Coverage) Set() map[int]bool {
+	m := make(map[int]bool, len(c.C2)+len(c.C3))
+	for w := range c.C2 {
+		m[w] = true
+	}
+	for w := range c.C3 {
+		m[w] = true
+	}
+	return m
+}
+
+// Size returns |C(u)|.
+func (c *Coverage) Size() int { return len(c.C2) + len(c.C3) }
+
+// Builder precomputes, for a clustered network, the per-node neighborhood
+// digests (the contents of the CH_HOP1 and CH_HOP2 messages) and serves
+// coverage sets for any clusterhead in O(size of the answer).
+type Builder struct {
+	g    *graph.Graph
+	cl   *cluster.Clustering
+	mode Mode
+
+	// ch1[v]: sorted clusterheads adjacent to v (the CH_HOP1 content for
+	// non-clusterhead v; also defined for clusterheads, where it is empty
+	// by the independent-set property).
+	ch1 [][]int
+	// ch2[v]: for non-clusterhead v, the 2-hop clusterhead entries
+	// (w -> lowest-ID relay r with v—r—w per the mode's rule and w not
+	// adjacent to v).
+	ch2 []map[int]int
+}
+
+// NewBuilder digests the clustered network once. The clustering must be
+// valid for g.
+func NewBuilder(g *graph.Graph, cl *cluster.Clustering, mode Mode) *Builder {
+	n := g.N()
+	b := &Builder{g: g, cl: cl, mode: mode, ch1: make([][]int, n), ch2: make([]map[int]int, n)}
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if cl.IsHead(u) {
+				b.ch1[v] = append(b.ch1[v], u)
+			}
+		}
+		sort.Ints(b.ch1[v])
+	}
+	for v := 0; v < n; v++ {
+		if cl.IsHead(v) {
+			continue
+		}
+		entries := make(map[int]int)
+		adjacent := make(map[int]bool, len(b.ch1[v]))
+		for _, w := range b.ch1[v] {
+			adjacent[w] = true
+		}
+		for _, r := range g.Neighbors(v) {
+			if cl.IsHead(r) {
+				continue // CH_HOP1 messages come from non-clusterheads only
+			}
+			switch mode {
+			case Hop25:
+				// Only r's own clusterhead generates an entry.
+				w := cl.Head[r]
+				if !adjacent[w] {
+					if prev, ok := entries[w]; !ok || r < prev {
+						entries[w] = r
+					}
+				}
+			case Hop3:
+				// Every clusterhead r hears directly generates an entry.
+				for _, w := range b.ch1[r] {
+					if !adjacent[w] {
+						if prev, ok := entries[w]; !ok || r < prev {
+							entries[w] = r
+						}
+					}
+				}
+			}
+		}
+		b.ch2[v] = entries
+	}
+	return b
+}
+
+// Mode returns the coverage-area variant of the builder.
+func (b *Builder) Mode() Mode { return b.mode }
+
+// CH1 returns the sorted clusterheads adjacent to v (CH_HOP1 content).
+// The returned slice is owned by the builder.
+func (b *Builder) CH1(v int) []int { return b.ch1[v] }
+
+// CH2 returns v's 2-hop clusterhead entries (CH_HOP2 content): clusterhead
+// w ↦ relay r. The returned map is owned by the builder.
+func (b *Builder) CH2(v int) map[int]int { return b.ch2[v] }
+
+// Of computes the coverage set of clusterhead u. It panics when u is not a
+// clusterhead of the clustering.
+func (b *Builder) Of(u int) *Coverage {
+	if !b.cl.IsHead(u) {
+		panic("coverage: Of called on a non-clusterhead")
+	}
+	c := &Coverage{
+		Head: u, Mode: b.mode,
+		C2: make(map[int]bool), C3: make(map[int]bool),
+		Direct: make(map[int][]int), Indirect: make(map[int]map[int]int),
+	}
+	// C², Direct: from neighbors' CH_HOP1.
+	for _, v := range b.g.Neighbors(u) {
+		var direct []int
+		for _, w := range b.ch1[v] {
+			if w == u {
+				continue
+			}
+			c.C2[w] = true
+			direct = append(direct, w)
+		}
+		if len(direct) > 0 {
+			c.Direct[v] = direct
+		}
+	}
+	// C³, Indirect: from neighbors' CH_HOP2, removing C² duplicates.
+	for _, v := range b.g.Neighbors(u) {
+		var ind map[int]int
+		for w, r := range b.ch2[v] {
+			if w == u || c.C2[w] {
+				continue
+			}
+			c.C3[w] = true
+			if ind == nil {
+				ind = make(map[int]int)
+			}
+			ind[w] = r
+		}
+		if ind != nil {
+			c.Indirect[v] = ind
+		}
+	}
+	return c
+}
+
+// All computes coverage sets for every clusterhead, keyed by head ID.
+func (b *Builder) All() map[int]*Coverage {
+	out := make(map[int]*Coverage, len(b.cl.Heads))
+	for _, h := range b.cl.Heads {
+		out[h] = b.Of(h)
+	}
+	return out
+}
+
+// ClusterGraph builds the paper's cluster graph G′: one vertex per cluster
+// (indexed 0..k−1 in ascending head order), and a directed edge (v, w)
+// whenever clusterhead w belongs to v's coverage set. The returned index
+// maps head ID to vertex index.
+func ClusterGraph(b *Builder) (*graph.Digraph, map[int]int) {
+	heads := b.cl.Heads
+	index := make(map[int]int, len(heads))
+	for i, h := range heads {
+		index[h] = i
+	}
+	d := graph.NewDigraph(len(heads))
+	for _, h := range heads {
+		cov := b.Of(h)
+		for w := range cov.C2 {
+			d.AddEdge(index[h], index[w])
+		}
+		for w := range cov.C3 {
+			d.AddEdge(index[h], index[w])
+		}
+	}
+	return d, index
+}

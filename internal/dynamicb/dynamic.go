@@ -1,0 +1,161 @@
+// Package dynamicb implements the paper's *dynamic backbone*: the
+// cluster-based source-dependent CDS built on demand, step by step, as a
+// broadcast packet traverses the network.
+//
+// The clusterheads are fixed (lowest-ID clustering); the gateways are
+// selected per broadcast. The protocol (paper §3, "Broadcasting in a
+// Cluster-Based SD-CDS Backbone"):
+//
+//  1. A non-clusterhead source sends the packet to its clusterhead.
+//  2. A clusterhead receiving the packet for the first time selects forward
+//     nodes (gateways) that connect all clusterheads in its *updated*
+//     coverage set: C(v) ← C(v) − C(u) − {u} − CH(N(r)), where u is the
+//     upstream clusterhead whose coverage set arrived piggybacked with the
+//     packet and r is the immediate transmitter (the second-hop relay in
+//     the 2.5-hop case — the clusterheads adjacent to r heard r's
+//     transmission themselves). It then broadcasts the packet, piggybacking
+//     its own full coverage set C(v) and forward node set F(v). A
+//     clusterhead always transmits once, even when the updated coverage set
+//     is empty (the paper's "locally broadcasts").
+//  3. A non-clusterhead relays iff it is named in the packet's forward node
+//     set (possibly learning this from a duplicate copy).
+//
+// The nodes that end up transmitting form a source-dependent CDS
+// (Theorem 2).
+package dynamicb
+
+import (
+	"clustercast/internal/backbone"
+	"clustercast/internal/broadcast"
+	"clustercast/internal/cluster"
+	"clustercast/internal/coverage"
+	"clustercast/internal/graph"
+)
+
+// packet is the piggybacked payload of a dynamic-backbone transmission.
+type packet struct {
+	// fromCH is the last clusterhead that processed the packet (-1 when
+	// the packet is fresh from a non-clusterhead source).
+	fromCH int
+	// cov holds C(u) ∪ {u} of that clusterhead: every clusterhead known to
+	// be covered by its transmission.
+	cov map[int]bool
+	// forward is F(u): the non-clusterhead nodes asked to relay.
+	forward map[int]bool
+}
+
+// Protocol is the broadcast.Protocol implementation of the dynamic
+// backbone. Construct once per clustered network with New; it is reusable
+// across broadcasts from any source (the clusterheads and coverage sets
+// are fixed; only gateway selection happens per broadcast).
+type Protocol struct {
+	g    *graph.Graph
+	cl   *cluster.Clustering
+	b    *coverage.Builder
+	covs map[int]*coverage.Coverage // per-head full coverage sets
+}
+
+var _ broadcast.Protocol = (*Protocol)(nil)
+
+// New builds the dynamic-backbone protocol for a clustered network under
+// the given coverage-set mode.
+func New(g *graph.Graph, cl *cluster.Clustering, mode coverage.Mode) *Protocol {
+	b := coverage.NewBuilder(g, cl, mode)
+	return &Protocol{g: g, cl: cl, b: b, covs: b.All()}
+}
+
+// NewFrom builds the protocol reusing an existing coverage builder.
+func NewFrom(b *coverage.Builder, g *graph.Graph, cl *cluster.Clustering) *Protocol {
+	return &Protocol{g: g, cl: cl, b: b, covs: b.All()}
+}
+
+// Mode returns the coverage-set variant in use.
+func (p *Protocol) Mode() coverage.Mode { return p.b.Mode() }
+
+// Name implements broadcast.Protocol.
+func (p *Protocol) Name() string {
+	return "dynamic-" + p.b.Mode().String()
+}
+
+// Start implements broadcast.Protocol.
+func (p *Protocol) Start(source int) broadcast.Packet {
+	if p.cl.IsHead(source) {
+		return p.headPacket(source, nil, -1)
+	}
+	// Rule 1: a non-clusterhead source just sends the packet toward its
+	// clusterhead; it designates no other relays.
+	return &packet{fromCH: -1, cov: nil, forward: nil}
+}
+
+// headPacket runs clusterhead v's selection against the exclusions implied
+// by the incoming packet (nil for a source clusterhead) and the immediate
+// transmitter x (-1 for none), returning the outgoing payload.
+func (p *Protocol) headPacket(v int, in *packet, x int) *packet {
+	cov := p.covs[v]
+	// Updated coverage set: start from the full C(v), drop everything the
+	// upstream transmission already covers.
+	need := cov.Set()
+	if in != nil {
+		for w := range in.cov {
+			delete(need, w)
+		}
+		if in.fromCH >= 0 {
+			delete(need, in.fromCH)
+		}
+	}
+	if x >= 0 {
+		// Clusterheads adjacent to the immediate transmitter heard the
+		// same transmission v heard (the paper's N(r) exclusion).
+		for _, w := range p.b.CH1(x) {
+			delete(need, w)
+		}
+	}
+	sel := backbone.SelectGateways(cov, need, need)
+	fwd := make(map[int]bool, len(sel.Gateways))
+	for _, gw := range sel.Gateways {
+		fwd[gw] = true
+	}
+	// Piggyback the FULL coverage set (paper: "F(3)={9} and C(3)={1,2,4}
+	// are piggybacked"): everything in C(v) either receives via F(v) or
+	// was excluded precisely because it already received.
+	full := cov.Set()
+	full[v] = true
+	return &packet{fromCH: v, cov: full, forward: fwd}
+}
+
+// OnReceive implements broadcast.Protocol.
+func (p *Protocol) OnReceive(v, x int, pkt broadcast.Packet) (bool, broadcast.Packet) {
+	in, _ := pkt.(*packet)
+	if p.cl.IsHead(v) {
+		// Rule 2: a clusterhead always transmits on first reception.
+		return true, p.headPacket(v, in, x)
+	}
+	// Rule 3: a non-clusterhead relays iff designated. A fresh packet from
+	// a non-clusterhead source implicitly designates the source's
+	// clusterhead only, which is handled above; other members stay quiet.
+	if in != nil && in.forward[v] {
+		return true, in
+	}
+	return false, nil
+}
+
+// OnDuplicate implements broadcast.Protocol: a gateway may first hear the
+// packet from a transmission that does not designate it and must still
+// relay when a designating copy arrives.
+func (p *Protocol) OnDuplicate(v, x int, pkt broadcast.Packet) (bool, broadcast.Packet) {
+	if p.cl.IsHead(v) {
+		return false, nil // clusterheads act on first reception only
+	}
+	in, _ := pkt.(*packet)
+	if in != nil && in.forward[v] {
+		return true, in
+	}
+	return false, nil
+}
+
+// Broadcast runs one dynamic-backbone broadcast and returns the engine
+// result. The forward node set of the paper's Figures 7 and 8 is
+// res.ForwardCount().
+func (p *Protocol) Broadcast(source int) *broadcast.Result {
+	return broadcast.Run(p.g, source, p)
+}

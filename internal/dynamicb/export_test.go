@@ -1,0 +1,16 @@
+package dynamicb
+
+import "clustercast/internal/broadcast"
+
+// HeadPacketForTest exposes the clusterhead selection step for white-box
+// tests of the pruning rules.
+func (p *Protocol) HeadPacketForTest(v int, in broadcast.Packet, x int) (forward map[int]bool, piggyCov map[int]bool) {
+	pkt, _ := in.(*packet)
+	out := p.headPacket(v, pkt, x)
+	return out.forward, out.cov
+}
+
+// PacketForTest builds an incoming packet for white-box tests.
+func PacketForTest(fromCH int, cov map[int]bool, forward map[int]bool) broadcast.Packet {
+	return &packet{fromCH: fromCH, cov: cov, forward: forward}
+}

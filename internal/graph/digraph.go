@@ -1,0 +1,230 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Digraph is a directed simple graph over nodes 0..n−1. It models the
+// *cluster graph* G′ of the paper: one vertex per cluster(head) and a
+// directed link (v, w) whenever clusterhead w belongs to v's coverage set.
+// With the 3-hop coverage set the cluster graph is symmetric; with the
+// 2.5-hop coverage set it may be genuinely directed, and the correctness of
+// the backbone (Theorem 1) rests on it being strongly connected.
+type Digraph struct {
+	out   [][]int
+	in    [][]int
+	edges int
+}
+
+// NewDigraph returns a digraph with n isolated nodes.
+func NewDigraph(n int) *Digraph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Digraph{out: make([][]int, n), in: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (d *Digraph) N() int { return len(d.out) }
+
+// M returns the number of directed edges.
+func (d *Digraph) M() int { return d.edges }
+
+// AddEdge inserts the directed edge (u, v). Duplicates and self-loops
+// panic, as in Graph.
+func (d *Digraph) AddEdge(u, v int) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	if d.HasEdge(u, v) {
+		panic(fmt.Sprintf("graph: duplicate edge (%d,%d)", u, v))
+	}
+	d.out[u] = insertInt(d.out[u], v)
+	d.in[v] = insertInt(d.in[v], u)
+	d.edges++
+}
+
+func insertInt(list []int, v int) []int {
+	i := sort.SearchInts(list, v)
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = v
+	return list
+}
+
+// HasEdge reports whether (u, v) is an edge.
+func (d *Digraph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(d.out) || v < 0 || v >= len(d.out) {
+		return false
+	}
+	list := d.out[u]
+	i := sort.SearchInts(list, v)
+	return i < len(list) && list[i] == v
+}
+
+// RemoveEdge deletes (u, v) if present and reports whether it was present.
+// The dynamic backbone's pruning step eliminates cluster-graph edges between
+// two downstream clusterheads of a common upstream sender.
+func (d *Digraph) RemoveEdge(u, v int) bool {
+	if !d.HasEdge(u, v) {
+		return false
+	}
+	d.out[u] = removeInt(d.out[u], v)
+	d.in[v] = removeInt(d.in[v], u)
+	d.edges--
+	return true
+}
+
+func removeInt(list []int, v int) []int {
+	i := sort.SearchInts(list, v)
+	copy(list[i:], list[i+1:])
+	return list[:len(list)-1]
+}
+
+// Out returns the sorted out-neighbors of u (owned by the digraph).
+func (d *Digraph) Out(u int) []int { return d.out[u] }
+
+// In returns the sorted in-neighbors of u (owned by the digraph).
+func (d *Digraph) In(u int) []int { return d.in[u] }
+
+// reachableFrom returns the number of nodes reachable from src following
+// the given adjacency.
+func reachableFrom(adj [][]int, src int) int {
+	seen := make([]bool, len(adj))
+	seen[src] = true
+	queue := []int{src}
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count
+}
+
+// StronglyConnected reports whether every node can reach every other node.
+// Graphs with 0 or 1 nodes are strongly connected. Implemented as forward +
+// reverse reachability from node 0 (sufficient for strong connectivity of
+// the whole graph).
+func (d *Digraph) StronglyConnected() bool {
+	n := len(d.out)
+	if n <= 1 {
+		return true
+	}
+	return reachableFrom(d.out, 0) == n && reachableFrom(d.in, 0) == n
+}
+
+// SCCs returns the strongly connected components (Tarjan's algorithm,
+// iterative to avoid deep recursion on large cluster graphs). Components are
+// returned with members sorted, ordered by smallest member.
+func (d *Digraph) SCCs() [][]int {
+	n := len(d.out)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	next := 0
+
+	type frame struct {
+		v  int
+		ei int
+	}
+	for s := 0; s < n; s++ {
+		if index[s] != -1 {
+			continue
+		}
+		callStack := []frame{{v: s}}
+		index[s] = next
+		low[s] = next
+		next++
+		stack = append(stack, s)
+		onStack[s] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.ei < len(d.out[f.v]) {
+				w := d.out[f.v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Finished v.
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(comp)
+				comps = append(comps, comp)
+			}
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// Clone returns a deep copy of d.
+func (d *Digraph) Clone() *Digraph {
+	c := &Digraph{out: make([][]int, len(d.out)), in: make([][]int, len(d.in)), edges: d.edges}
+	for i := range d.out {
+		c.out[i] = append([]int(nil), d.out[i]...)
+		c.in[i] = append([]int(nil), d.in[i]...)
+	}
+	return c
+}
+
+// DOT renders the digraph in Graphviz DOT format with deterministic
+// ordering; labels maps node index to a display label (defaults to the
+// index).
+func (d *Digraph) DOT(name string, labels map[int]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", name)
+	for u := 0; u < len(d.out); u++ {
+		label := labels[u]
+		if label == "" {
+			label = fmt.Sprint(u)
+		}
+		fmt.Fprintf(&b, "  %d [label=%q];\n", u, label)
+	}
+	for u := 0; u < len(d.out); u++ {
+		for _, v := range d.out[u] {
+			fmt.Fprintf(&b, "  %d -> %d;\n", u, v)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

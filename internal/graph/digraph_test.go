@@ -1,0 +1,221 @@
+package graph
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"clustercast/internal/rng"
+)
+
+func TestDigraphBasics(t *testing.T) {
+	d := NewDigraph(3)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	if d.N() != 3 || d.M() != 2 {
+		t.Fatalf("N=%d M=%d", d.N(), d.M())
+	}
+	if !d.HasEdge(0, 1) || d.HasEdge(1, 0) {
+		t.Fatal("directed edge must not be symmetric")
+	}
+	if got := d.Out(1); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("Out(1) = %v", got)
+	}
+	if got := d.In(1); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("In(1) = %v", got)
+	}
+}
+
+func TestDigraphRejectsDuplicateAndLoop(t *testing.T) {
+	d := NewDigraph(2)
+	d.AddEdge(0, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("duplicate must panic")
+			}
+		}()
+		d.AddEdge(0, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("self-loop must panic")
+			}
+		}()
+		d.AddEdge(1, 1)
+	}()
+}
+
+func TestRemoveEdge(t *testing.T) {
+	d := NewDigraph(3)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	if !d.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge should report true for present edge")
+	}
+	if d.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge should report false for absent edge")
+	}
+	if d.M() != 1 || d.HasEdge(0, 1) {
+		t.Fatal("edge not removed")
+	}
+	if len(d.In(1)) != 0 {
+		t.Fatal("in-list not updated")
+	}
+}
+
+func TestStronglyConnected(t *testing.T) {
+	// Directed 3-cycle: strongly connected.
+	c := NewDigraph(3)
+	c.AddEdge(0, 1)
+	c.AddEdge(1, 2)
+	c.AddEdge(2, 0)
+	if !c.StronglyConnected() {
+		t.Fatal("3-cycle is strongly connected")
+	}
+	// Directed path: not strongly connected.
+	p := NewDigraph(3)
+	p.AddEdge(0, 1)
+	p.AddEdge(1, 2)
+	if p.StronglyConnected() {
+		t.Fatal("directed path is not strongly connected")
+	}
+	if !NewDigraph(0).StronglyConnected() || !NewDigraph(1).StronglyConnected() {
+		t.Fatal("trivial digraphs are strongly connected")
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	// Two 2-cycles joined by a one-way edge, plus an isolated node.
+	d := NewDigraph(5)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 0)
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 3)
+	d.AddEdge(3, 2)
+	comps := d.SCCs()
+	want := [][]int{{0, 1}, {2, 3}, {4}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("SCCs = %v, want %v", comps, want)
+	}
+}
+
+func TestSCCsSingleComponent(t *testing.T) {
+	d := NewDigraph(4)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 3)
+	d.AddEdge(3, 0)
+	comps := d.SCCs()
+	if len(comps) != 1 || len(comps[0]) != 4 {
+		t.Fatalf("SCCs = %v", comps)
+	}
+}
+
+func TestDigraphClone(t *testing.T) {
+	d := NewDigraph(3)
+	d.AddEdge(0, 1)
+	c := d.Clone()
+	c.AddEdge(1, 2)
+	if d.HasEdge(1, 2) {
+		t.Fatal("clone mutation leaked into original")
+	}
+	c.RemoveEdge(0, 1)
+	if !d.HasEdge(0, 1) {
+		t.Fatal("clone removal leaked into original")
+	}
+}
+
+func TestDigraphDOT(t *testing.T) {
+	d := NewDigraph(2)
+	d.AddEdge(0, 1)
+	out := d.DOT("cg", map[int]string{0: "CH1"})
+	if !strings.Contains(out, "0 -> 1") || !strings.Contains(out, `"CH1"`) {
+		t.Fatalf("DOT output missing content:\n%s", out)
+	}
+}
+
+// Property: SCCs partition the nodes, and a digraph is strongly connected
+// iff it has exactly one SCC.
+func TestQuickSCCPartition(t *testing.T) {
+	f := func(seed uint64, sz uint8) bool {
+		n := int(sz)%20 + 1
+		r := rng.New(seed)
+		d := NewDigraph(n)
+		edges := n * 2
+		for i := 0; i < edges; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !d.HasEdge(u, v) {
+				d.AddEdge(u, v)
+			}
+		}
+		comps := d.SCCs()
+		seen := map[int]bool{}
+		total := 0
+		for _, c := range comps {
+			for _, v := range c {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		if total != n {
+			return false
+		}
+		return d.StronglyConnected() == (len(comps) == 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mutual reachability within an SCC. For each component pick two
+// members and check both can reach each other via BFS over out-edges.
+func TestQuickSCCMutualReachability(t *testing.T) {
+	reach := func(d *Digraph, src, dst int) bool {
+		seen := map[int]bool{src: true}
+		queue := []int{src}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			if u == dst {
+				return true
+			}
+			for _, v := range d.Out(u) {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		return false
+	}
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 12
+		d := NewDigraph(n)
+		for i := 0; i < 30; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !d.HasEdge(u, v) {
+				d.AddEdge(u, v)
+			}
+		}
+		for _, comp := range d.SCCs() {
+			if len(comp) < 2 {
+				continue
+			}
+			a, b := comp[0], comp[len(comp)-1]
+			if !reach(d, a, b) || !reach(d, b, a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

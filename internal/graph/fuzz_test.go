@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzGraphInvariants drives graph construction from arbitrary byte
+// strings interpreted as edge lists and checks structural invariants. Run
+// with `go test -fuzz=FuzzGraphInvariants` for open-ended fuzzing; the
+// seed corpus runs as a normal test.
+func FuzzGraphInvariants(f *testing.F) {
+	f.Add([]byte{1, 2, 2, 3, 3, 1})
+	f.Add([]byte{0, 1})
+	f.Add([]byte{})
+	f.Add([]byte{9, 9, 1, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 16
+		g := New(n)
+		for i := 0; i+1 < len(data); i += 2 {
+			u, v := int(data[i])%n, int(data[i+1])%n
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+		// Symmetry.
+		for u := 0; u < n; u++ {
+			for _, v := range g.Neighbors(u) {
+				if !g.HasEdge(v, u) {
+					t.Fatalf("edge {%d,%d} not symmetric", u, v)
+				}
+			}
+		}
+		// Edge count consistency.
+		sum := 0
+		for u := 0; u < n; u++ {
+			sum += g.Degree(u)
+		}
+		if sum != 2*g.M() {
+			t.Fatalf("degree sum %d != 2m %d", sum, 2*g.M())
+		}
+		// Components partition the nodes.
+		seen := map[int]bool{}
+		for _, comp := range g.Components() {
+			for _, v := range comp {
+				if seen[v] {
+					t.Fatalf("node %d in two components", v)
+				}
+				seen[v] = true
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("components cover %d of %d nodes", len(seen), n)
+		}
+		// BFS distances are consistent with connectivity.
+		dist := g.BFS(0)
+		if g.Connected() {
+			for v, d := range dist {
+				if d < 0 {
+					t.Fatalf("connected graph with unreachable node %d", v)
+				}
+			}
+		}
+		// The full vertex set dominates; on connected graphs it is a CDS.
+		all := map[int]bool{}
+		for i := 0; i < n; i++ {
+			all[i] = true
+		}
+		if !g.IsDominatingSet(all) {
+			t.Fatal("full set must dominate")
+		}
+	})
+}

@@ -1,0 +1,417 @@
+// Package graph provides the undirected-graph substrate for the MANET
+// simulator: adjacency storage, traversals, k-hop neighborhoods,
+// connectivity queries, and verification predicates for dominating sets and
+// connected dominating sets (CDS).
+//
+// Nodes are identified by dense integer IDs 0..n−1. In the MANET model the
+// ID doubles as the node's unique address, and the lowest-ID clustering
+// algorithm gives smaller IDs election priority.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graph is an undirected simple graph over nodes 0..n−1 stored as sorted
+// adjacency lists. The zero value is an empty graph with no nodes; use New
+// to create a graph with a fixed node count.
+type Graph struct {
+	adj   [][]int
+	edges int
+}
+
+// New returns a graph with n isolated nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Graph{adj: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.edges }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and duplicate
+// edges are rejected with a panic: the unit-disk model never produces them,
+// so their appearance indicates a bug in the caller.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	if g.HasEdge(u, v) {
+		panic(fmt.Sprintf("graph: duplicate edge {%d,%d}", u, v))
+	}
+	g.insertSorted(u, v)
+	g.insertSorted(v, u)
+	g.edges++
+}
+
+func (g *Graph) insertSorted(u, v int) {
+	list := g.adj[u]
+	i := sort.SearchInts(list, v)
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = v
+	g.adj[u] = list
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return false
+	}
+	list := g.adj[u]
+	i := sort.SearchInts(list, v)
+	return i < len(list) && list[i] == v
+}
+
+// Neighbors returns the sorted adjacency list of u. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// MaxDegree returns Δ(G), the maximum node degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, l := range g.adj {
+		if len(l) > max {
+			max = len(l)
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the average node degree 2m/n (0 for an empty graph).
+func (g *Graph) AvgDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.edges) / float64(len(g.adj))
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([][]int, len(g.adj)), edges: g.edges}
+	for i, l := range g.adj {
+		c.adj[i] = append([]int(nil), l...)
+	}
+	return c
+}
+
+// Edges returns all edges as ordered pairs (u < v), sorted.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.edges)
+	for u, l := range g.adj {
+		for _, v := range l {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// BFS runs a breadth-first search from src and returns dist[v] = hop count
+// from src, with −1 for unreachable nodes.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// KHop returns N^k(v): the set of nodes within k hops of v, including v
+// itself, as a sorted slice. K must be >= 0.
+func (g *Graph) KHop(v, k int) []int {
+	if k < 0 {
+		panic("graph: negative k")
+	}
+	dist := map[int]int{v: 0}
+	frontier := []int{v}
+	for hop := 0; hop < k && len(frontier) > 0; hop++ {
+		var next []int
+		for _, u := range frontier {
+			for _, w := range g.adj[u] {
+				if _, ok := dist[w]; !ok {
+					dist[w] = hop + 1
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	out := make([]int, 0, len(dist))
+	for u := range dist {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Connected reports whether g is connected. The empty graph and the
+// single-node graph are connected.
+func (g *Graph) Connected() bool {
+	if len(g.adj) <= 1 {
+		return true
+	}
+	dist := g.BFS(0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components of g, each as a sorted slice
+// of node IDs, ordered by their smallest member.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, len(g.adj))
+	var comps [][]int
+	for s := 0; s < len(g.adj); s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// InducedSubgraphConnected reports whether the subgraph induced by the node
+// set is connected (a set of size 0 or 1 counts as connected). It is the
+// connectivity half of the CDS predicate.
+func (g *Graph) InducedSubgraphConnected(set map[int]bool) bool {
+	var start = -1
+	count := 0
+	for v, in := range set {
+		if in {
+			count++
+			start = v
+		}
+	}
+	if count <= 1 {
+		return true
+	}
+	seen := map[int]bool{start: true}
+	queue := []int{start}
+	visited := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if set[v] && !seen[v] {
+				seen[v] = true
+				visited++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return visited == count
+}
+
+// IsDominatingSet reports whether every node is in the set or adjacent to a
+// member of the set.
+func (g *Graph) IsDominatingSet(set map[int]bool) bool {
+	for u := range g.adj {
+		if set[u] {
+			continue
+		}
+		dominated := false
+		for _, v := range g.adj[u] {
+			if set[v] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return false
+		}
+	}
+	return true
+}
+
+// IsCDS reports whether the set is a connected dominating set of g.
+func (g *Graph) IsCDS(set map[int]bool) bool {
+	return g.IsDominatingSet(set) && g.InducedSubgraphConnected(set)
+}
+
+// IsIndependentSet reports whether no two members of the set are adjacent.
+// The clusterhead set of a valid clustering must satisfy this.
+func (g *Graph) IsIndependentSet(set map[int]bool) bool {
+	for u := range set {
+		if !set[u] {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if set[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Eccentricity returns the greatest hop distance from v to any reachable
+// node, or −1 if some node is unreachable.
+func (g *Graph) Eccentricity(v int) int {
+	dist := g.BFS(v)
+	ecc := 0
+	for _, d := range dist {
+		if d == -1 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the hop diameter of g, or −1 when g is disconnected.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for v := range g.adj {
+		e := g.Eccentricity(v)
+		if e == -1 {
+			return -1
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// ShortestPath returns one shortest path from src to dst as a node sequence
+// including both endpoints, or nil when dst is unreachable.
+func (g *Graph) ShortestPath(src, dst int) []int {
+	if src == dst {
+		return []int{src}
+	}
+	prev := make([]int, len(g.adj))
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if prev[v] == -1 {
+				prev[v] = u
+				if v == dst {
+					var path []int
+					for w := dst; w != src; w = prev[w] {
+						path = append(path, w)
+					}
+					path = append(path, src)
+					for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+						path[i], path[j] = path[j], path[i]
+					}
+					return path
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return nil
+}
+
+// DOT renders g in Graphviz DOT format; highlight marks a set of nodes to
+// fill (the backbone, in our figures). Deterministic output: nodes and edges
+// appear in sorted order.
+func (g *Graph) DOT(name string, highlight map[int]bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s {\n", name)
+	for u := 0; u < len(g.adj); u++ {
+		if highlight[u] {
+			fmt.Fprintf(&b, "  %d [style=filled fillcolor=black fontcolor=white];\n", u)
+		} else {
+			fmt.Fprintf(&b, "  %d;\n", u)
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %d -- %d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// FromEdges builds a graph with n nodes and the given edge list. It is the
+// convenient constructor used throughout the tests.
+func FromEdges(n int, edges [][2]int) *Graph {
+	g := New(n)
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// SetOf returns a membership map for the given node IDs.
+func SetOf(ids ...int) map[int]bool {
+	m := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+// SetSize returns the number of true entries in a membership map.
+func SetSize(set map[int]bool) int {
+	n := 0
+	for _, in := range set {
+		if in {
+			n++
+		}
+	}
+	return n
+}
+
+// SortedMembers returns the true entries of a membership map in ascending
+// order.
+func SortedMembers(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for v, in := range set {
+		if in {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

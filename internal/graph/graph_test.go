@@ -1,0 +1,425 @@
+package graph
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"clustercast/internal/rng"
+)
+
+// pathGraph returns the path 0-1-2-...-n−1.
+func pathGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// cycleGraph returns the n-cycle.
+func cycleGraph(n int) *Graph {
+	g := pathGraph(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+// starGraph returns a star with center 0 and n−1 leaves.
+func starGraph(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+// randomConnectedGraph builds a random connected graph: a random spanning
+// tree plus extra random edges.
+func randomConnectedGraph(r *rng.Stream, n, extraEdges int) *Graph {
+	g := New(n)
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(perm[i], perm[r.Intn(i)])
+	}
+	for k := 0; k < extraEdges; k++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 1)
+	if g.N() != 4 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge {0,1} missing or not symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("phantom edge {0,2}")
+	}
+	if got := g.Neighbors(1); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("Neighbors(1) = %v, want sorted [0 2]", got)
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Fatal("degree wrong")
+	}
+}
+
+func TestAddEdgeRejectsSelfLoop(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-loop must panic")
+		}
+	}()
+	New(2).AddEdge(1, 1)
+}
+
+func TestAddEdgeRejectsDuplicate(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate edge must panic")
+		}
+	}()
+	g.AddEdge(1, 0)
+}
+
+func TestHasEdgeOutOfRange(t *testing.T) {
+	g := New(2)
+	if g.HasEdge(-1, 0) || g.HasEdge(0, 7) {
+		t.Fatal("out-of-range ids must report no edge")
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := starGraph(5)
+	if g.MaxDegree() != 4 {
+		t.Fatalf("MaxDegree = %d", g.MaxDegree())
+	}
+	if got, want := g.AvgDegree(), 2.0*4/5; got != want {
+		t.Fatalf("AvgDegree = %g, want %g", got, want)
+	}
+	if New(0).AvgDegree() != 0 || New(0).MaxDegree() != 0 {
+		t.Fatal("empty graph stats should be 0")
+	}
+}
+
+func TestBFSOnPath(t *testing.T) {
+	g := pathGraph(5)
+	dist := g.BFS(0)
+	if !reflect.DeepEqual(dist, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("BFS = %v", dist)
+	}
+	dist = g.BFS(2)
+	if !reflect.DeepEqual(dist, []int{2, 1, 0, 1, 2}) {
+		t.Fatalf("BFS(2) = %v", dist)
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	dist := g.BFS(0)
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Fatalf("unreachable nodes should have dist −1: %v", dist)
+	}
+}
+
+func TestKHop(t *testing.T) {
+	g := pathGraph(7)
+	if got := g.KHop(3, 0); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("KHop(3,0) = %v", got)
+	}
+	if got := g.KHop(3, 1); !reflect.DeepEqual(got, []int{2, 3, 4}) {
+		t.Fatalf("KHop(3,1) = %v", got)
+	}
+	if got := g.KHop(3, 2); !reflect.DeepEqual(got, []int{1, 2, 3, 4, 5}) {
+		t.Fatalf("KHop(3,2) = %v", got)
+	}
+	if got := g.KHop(0, 100); len(got) != 7 {
+		t.Fatalf("KHop with huge k should cover the component: %v", got)
+	}
+}
+
+func TestKHopNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative k must panic")
+		}
+	}()
+	pathGraph(3).KHop(0, -1)
+}
+
+func TestConnected(t *testing.T) {
+	if !New(0).Connected() || !New(1).Connected() {
+		t.Fatal("trivial graphs are connected")
+	}
+	if !cycleGraph(6).Connected() {
+		t.Fatal("cycle is connected")
+	}
+	g := New(3)
+	g.AddEdge(0, 1)
+	if g.Connected() {
+		t.Fatal("graph with isolated node is not connected")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(4, 5)
+	comps := g.Components()
+	want := [][]int{{0, 1, 2}, {3}, {4, 5}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("Components = %v, want %v", comps, want)
+	}
+}
+
+func TestDominatingSetPredicate(t *testing.T) {
+	g := starGraph(5)
+	if !g.IsDominatingSet(SetOf(0)) {
+		t.Fatal("center dominates the star")
+	}
+	if g.IsDominatingSet(SetOf(1)) {
+		t.Fatal("a single leaf does not dominate the star")
+	}
+	if !g.IsDominatingSet(SetOf(1, 2, 3, 4, 0)) {
+		t.Fatal("full set always dominates")
+	}
+	p := pathGraph(6)
+	if !p.IsDominatingSet(SetOf(1, 4)) {
+		t.Fatal("{1,4} dominates the 6-path")
+	}
+	if p.IsDominatingSet(SetOf(1)) {
+		t.Fatal("{1} misses nodes 3..5")
+	}
+}
+
+func TestInducedSubgraphConnected(t *testing.T) {
+	p := pathGraph(6)
+	if !p.InducedSubgraphConnected(SetOf(1, 2, 3)) {
+		t.Fatal("contiguous run of a path is connected")
+	}
+	if p.InducedSubgraphConnected(SetOf(1, 4)) {
+		t.Fatal("{1,4} is disconnected in the path")
+	}
+	if !p.InducedSubgraphConnected(SetOf()) || !p.InducedSubgraphConnected(SetOf(2)) {
+		t.Fatal("0- and 1-element sets are connected")
+	}
+	// Entries explicitly set to false must be ignored.
+	set := map[int]bool{1: true, 2: true, 4: false}
+	if !p.InducedSubgraphConnected(set) {
+		t.Fatal("false entries must not count as members")
+	}
+}
+
+func TestIsCDS(t *testing.T) {
+	p := pathGraph(6)
+	if !p.IsCDS(SetOf(1, 2, 3, 4)) {
+		t.Fatal("{1,2,3,4} is a CDS of the 6-path")
+	}
+	if p.IsCDS(SetOf(1, 4)) {
+		t.Fatal("{1,4} dominates but is not connected")
+	}
+	if p.IsCDS(SetOf(0, 1, 2)) {
+		t.Fatal("{0,1,2} is connected but does not dominate node 4,5... wait 3 is adjacent to 2; 4,5 not dominated")
+	}
+}
+
+func TestIsIndependentSet(t *testing.T) {
+	p := pathGraph(5)
+	if !p.IsIndependentSet(SetOf(0, 2, 4)) {
+		t.Fatal("{0,2,4} is independent in the 5-path")
+	}
+	if p.IsIndependentSet(SetOf(0, 1)) {
+		t.Fatal("{0,1} is not independent")
+	}
+	if !p.IsIndependentSet(SetOf()) {
+		t.Fatal("empty set is independent")
+	}
+}
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	p := pathGraph(5)
+	if e := p.Eccentricity(0); e != 4 {
+		t.Fatalf("Eccentricity(0) = %d", e)
+	}
+	if e := p.Eccentricity(2); e != 2 {
+		t.Fatalf("Eccentricity(2) = %d", e)
+	}
+	if d := p.Diameter(); d != 4 {
+		t.Fatalf("Diameter = %d", d)
+	}
+	if d := cycleGraph(6).Diameter(); d != 3 {
+		t.Fatalf("cycle diameter = %d", d)
+	}
+	g := New(3)
+	g.AddEdge(0, 1)
+	if g.Diameter() != -1 || g.Eccentricity(0) != -1 {
+		t.Fatal("disconnected graph must report −1")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	p := pathGraph(5)
+	if got := p.ShortestPath(0, 4); !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("ShortestPath = %v", got)
+	}
+	if got := p.ShortestPath(2, 2); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("trivial path = %v", got)
+	}
+	g := New(3)
+	g.AddEdge(0, 1)
+	if got := g.ShortestPath(0, 2); got != nil {
+		t.Fatalf("unreachable path should be nil, got %v", got)
+	}
+	// On a cycle the path length must be the BFS distance.
+	c := cycleGraph(8)
+	path := c.ShortestPath(0, 4)
+	if len(path) != 5 {
+		t.Fatalf("cycle shortest path length %d, want 5 nodes", len(path))
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !c.HasEdge(path[i], path[i+1]) {
+			t.Fatalf("path step %d-%d is not an edge", path[i], path[i+1])
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := pathGraph(4)
+	c := g.Clone()
+	c.AddEdge(0, 3)
+	if g.HasEdge(0, 3) {
+		t.Fatal("mutating the clone affected the original")
+	}
+	if g.M() != 3 || c.M() != 4 {
+		t.Fatalf("edge counts wrong: %d, %d", g.M(), c.M())
+	}
+}
+
+func TestEdgesSortedAndComplete(t *testing.T) {
+	g := New(4)
+	g.AddEdge(2, 3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	want := [][2]int{{0, 1}, {1, 3}, {2, 3}}
+	if got := g.Edges(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Edges = %v, want %v", got, want)
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	g := pathGraph(3)
+	d1 := g.DOT("g", SetOf(1))
+	d2 := g.DOT("g", SetOf(1))
+	if d1 != d2 {
+		t.Fatal("DOT output must be deterministic")
+	}
+	if !strings.Contains(d1, "0 -- 1") || !strings.Contains(d1, "fillcolor=black") {
+		t.Fatalf("DOT output missing expected content:\n%s", d1)
+	}
+}
+
+func TestSetHelpers(t *testing.T) {
+	s := SetOf(3, 1, 2)
+	if SetSize(s) != 3 {
+		t.Fatalf("SetSize = %d", SetSize(s))
+	}
+	s[5] = false
+	if SetSize(s) != 3 {
+		t.Fatal("false entries must not be counted")
+	}
+	if got := SortedMembers(s); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("SortedMembers = %v", got)
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if g.M() != 3 || !g.Connected() {
+		t.Fatal("FromEdges built wrong graph")
+	}
+}
+
+// Property: on random connected graphs, the full node set is a CDS and BFS
+// distances satisfy the edge relaxation property.
+func TestQuickRandomGraphInvariants(t *testing.T) {
+	f := func(seed uint64, sz uint8) bool {
+		n := int(sz)%40 + 2
+		r := rng.New(seed)
+		g := randomConnectedGraph(r, n, n/2)
+		all := map[int]bool{}
+		for i := 0; i < n; i++ {
+			all[i] = true
+		}
+		if !g.IsCDS(all) {
+			return false
+		}
+		dist := g.BFS(0)
+		for _, e := range g.Edges() {
+			d := dist[e[0]] - dist[e[1]]
+			if d < -1 || d > 1 {
+				return false
+			}
+		}
+		return g.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: KHop is monotone in k and consistent with BFS distances.
+func TestQuickKHopMatchesBFS(t *testing.T) {
+	f := func(seed uint64, sz uint8, kk uint8) bool {
+		n := int(sz)%30 + 2
+		k := int(kk) % 5
+		r := rng.New(seed)
+		g := randomConnectedGraph(r, n, n)
+		v := r.Intn(n)
+		dist := g.BFS(v)
+		hop := g.KHop(v, k)
+		inHop := map[int]bool{}
+		for _, u := range hop {
+			inHop[u] = true
+		}
+		for u := 0; u < n; u++ {
+			want := dist[u] >= 0 && dist[u] <= k
+			if inHop[u] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBFS(b *testing.B) {
+	r := rng.New(1)
+	g := randomConnectedGraph(r, 1000, 3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.BFS(i % 1000)
+	}
+}
+
+func BenchmarkKHop3(b *testing.B) {
+	r := rng.New(1)
+	g := randomConnectedGraph(r, 1000, 3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.KHop(i%1000, 3)
+	}
+}

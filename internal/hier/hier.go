@@ -1,0 +1,144 @@
+// Package hier builds a multi-level cluster hierarchy, the natural
+// extension of the paper's two-level structure ("the cluster structure is
+// a simple backbone infrastructure which has only two levels"): level-1
+// clusterheads are clustered again over the *cluster graph* — two heads
+// are virtual neighbors when one lies in the other's coverage set — and so
+// on, until a single cluster remains or a level cap is hit.
+//
+// Each level shrinks the head population geometrically on uniform
+// topologies, which is what makes hierarchical addressing and scalable
+// routing (the original motivation of clustering in Ephremides et al.)
+// work. The package exists as the repository's future-work extension and
+// is exercised by the scalability ablation.
+package hier
+
+import (
+	"fmt"
+
+	"clustercast/internal/cluster"
+	"clustercast/internal/coverage"
+	"clustercast/internal/graph"
+)
+
+// Level is one tier of the hierarchy.
+type Level struct {
+	// G is the (virtual) graph this level was clustered on. Level 0 uses
+	// the physical graph; level i>0 uses the cluster graph of level i−1,
+	// with vertices indexed 0..k−1 in ascending head order.
+	G *graph.Graph
+	// Clustering is the lowest-ID clustering of G.
+	Clustering *cluster.Clustering
+	// PhysicalHead maps each vertex of G to the *physical* node ID it
+	// represents (identity at level 0).
+	PhysicalHead []int
+}
+
+// Hierarchy is the full stack of levels.
+type Hierarchy struct {
+	Levels []Level
+}
+
+// Depth returns the number of clustering levels built.
+func (h *Hierarchy) Depth() int { return len(h.Levels) }
+
+// HeadsAt returns the physical node IDs serving as clusterheads at the
+// given level (0-based).
+func (h *Hierarchy) HeadsAt(level int) []int {
+	l := h.Levels[level]
+	out := make([]int, 0, len(l.Clustering.Heads))
+	for _, v := range l.Clustering.Heads {
+		out = append(out, l.PhysicalHead[v])
+	}
+	return out
+}
+
+// Build constructs the hierarchy over g, stopping when a level has a
+// single cluster or maxLevels is reached. The virtual neighbor relation
+// between heads uses the symmetric 3-hop coverage set (the cluster graph
+// of the paper's Figure 4(b)).
+func Build(g *graph.Graph, maxLevels int) (*Hierarchy, error) {
+	if maxLevels <= 0 {
+		maxLevels = 8
+	}
+	h := &Hierarchy{}
+	cur := g
+	physical := make([]int, g.N())
+	for i := range physical {
+		physical[i] = i
+	}
+	for level := 0; level < maxLevels; level++ {
+		cl := cluster.LowestID(cur)
+		h.Levels = append(h.Levels, Level{G: cur, Clustering: cl, PhysicalHead: physical})
+		if cl.NumClusters() <= 1 || cur.N() <= 1 {
+			break
+		}
+		next, nextPhys, err := virtualGraph(cur, cl, physical)
+		if err != nil {
+			return nil, err
+		}
+		if next.N() == cur.N() {
+			// No reduction (e.g. an independent-set-free pathological
+			// graph); stop rather than loop.
+			break
+		}
+		cur, physical = next, nextPhys
+	}
+	return h, nil
+}
+
+// virtualGraph builds the undirected cluster graph of one level: vertices
+// are the clusterheads (ascending), and two heads are adjacent when either
+// lies in the other's 3-hop coverage set.
+func virtualGraph(g *graph.Graph, cl *cluster.Clustering, physical []int) (*graph.Graph, []int, error) {
+	b := coverage.NewBuilder(g, cl, coverage.Hop3)
+	d, index := coverage.ClusterGraph(b)
+	k := len(cl.Heads)
+	vg := graph.New(k)
+	for u := 0; u < k; u++ {
+		for _, v := range d.Out(u) {
+			if u < v && !vg.HasEdge(u, v) {
+				vg.AddEdge(u, v)
+			}
+		}
+		for _, v := range d.In(u) {
+			if u < v && !vg.HasEdge(u, v) {
+				vg.AddEdge(u, v)
+			}
+		}
+	}
+	nextPhys := make([]int, k)
+	for _, head := range cl.Heads {
+		nextPhys[index[head]] = physical[head]
+	}
+	return vg, nextPhys, nil
+}
+
+// Validate checks the hierarchy's invariants: every level's clustering is
+// valid for its graph, virtual graphs stay connected when the base graph
+// is connected, and the head population is non-increasing.
+func (h *Hierarchy) Validate() error {
+	prevHeads := -1
+	for i, l := range h.Levels {
+		if err := l.Clustering.Validate(l.G); err != nil {
+			return fmt.Errorf("hier: level %d: %w", i, err)
+		}
+		if i == 0 && l.G.Connected() {
+			for _, m := range h.Levels[1:] {
+				if !m.G.Connected() {
+					return fmt.Errorf("hier: virtual graph disconnected at some level above a connected base")
+				}
+			}
+		}
+		heads := l.Clustering.NumClusters()
+		if prevHeads != -1 && heads > prevHeads {
+			return fmt.Errorf("hier: level %d has %d heads, more than the previous level's %d",
+				i, heads, prevHeads)
+		}
+		prevHeads = heads
+		if len(l.PhysicalHead) != l.G.N() {
+			return fmt.Errorf("hier: level %d physical map has %d entries for %d vertices",
+				i, len(l.PhysicalHead), l.G.N())
+		}
+	}
+	return nil
+}

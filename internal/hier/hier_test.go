@@ -1,0 +1,146 @@
+package hier
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clustercast/internal/geom"
+	"clustercast/internal/graph"
+	"clustercast/internal/rng"
+	"clustercast/internal/topology"
+)
+
+func TestBuildPath(t *testing.T) {
+	// A long path collapses level by level.
+	g := graph.New(32)
+	for i := 0; i+1 < 32; i++ {
+		g.AddEdge(i, i+1)
+	}
+	h, err := Build(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Depth() < 2 {
+		t.Fatalf("path of 32 should need more than one level, got %d", h.Depth())
+	}
+	top := h.Levels[h.Depth()-1]
+	if top.Clustering.NumClusters() != 1 && h.Depth() == 8 {
+		t.Log("hit the level cap before full collapse (acceptable for a path)")
+	}
+	// Heads shrink strictly at every level below the top.
+	for i := 1; i < h.Depth(); i++ {
+		if h.Levels[i].G.N() >= h.Levels[i-1].G.N() {
+			t.Fatalf("level %d did not shrink: %d -> %d",
+				i, h.Levels[i-1].G.N(), h.Levels[i].G.N())
+		}
+	}
+}
+
+func TestBuildSingleNodeAndClique(t *testing.T) {
+	h, err := Build(graph.New(1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Depth() != 1 {
+		t.Fatalf("single node: depth %d", h.Depth())
+	}
+	k := graph.New(5)
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			k.AddEdge(u, v)
+		}
+	}
+	h, err = Build(k, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Depth() != 1 || h.Levels[0].Clustering.NumClusters() != 1 {
+		t.Fatalf("clique must collapse at level 0: depth=%d", h.Depth())
+	}
+}
+
+func TestHeadsAtPhysicalIDs(t *testing.T) {
+	r := rng.New(5)
+	nw, err := topology.Generate(topology.Config{
+		N: 60, Bounds: geom.Square(100), AvgDegree: 10,
+		RequireConnected: true, MaxAttempts: 300,
+	}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Build(nw.G, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Physical heads at every level must be valid node IDs, and heads at
+	// level i+1 must be a subset of heads at level i.
+	prev := map[int]bool{}
+	for _, v := range h.HeadsAt(0) {
+		if v < 0 || v >= nw.G.N() {
+			t.Fatalf("invalid physical head %d", v)
+		}
+		prev[v] = true
+	}
+	for lvl := 1; lvl < h.Depth(); lvl++ {
+		for _, v := range h.HeadsAt(lvl) {
+			if !prev[v] {
+				t.Fatalf("level %d head %d was not a head at level %d", lvl, v, lvl-1)
+			}
+		}
+		next := map[int]bool{}
+		for _, v := range h.HeadsAt(lvl) {
+			next[v] = true
+		}
+		prev = next
+	}
+}
+
+// Property: hierarchies over random connected networks validate, collapse
+// to a single top-level cluster within the cap, and shrink geometrically
+// (each level at most ~patched half the previous, loosely checked).
+func TestQuickHierarchyValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nw, err := topology.Generate(topology.Config{
+			N: 70, Bounds: geom.Square(100), AvgDegree: 8,
+			RequireConnected: true, MaxAttempts: 300,
+		}, r)
+		if err != nil {
+			return true
+		}
+		h, err := Build(nw.G, 10)
+		if err != nil {
+			return false
+		}
+		if h.Validate() != nil {
+			return false
+		}
+		top := h.Levels[h.Depth()-1]
+		return top.Clustering.NumClusters() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild100(b *testing.B) {
+	r := rng.New(1)
+	nw, err := topology.Generate(topology.Config{
+		N: 100, Bounds: geom.Square(100), AvgDegree: 18, RequireConnected: true,
+	}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(nw.G, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package marking implements the classic source-independent CDS of Wu and
+// Li (DIALM 1999), cited by the paper as one of the principal SI-CDS
+// baselines: the *marking process* with pruning Rules 1 and 2.
+//
+// Marking: a node is marked (joins the CDS) iff it has two neighbors that
+// are not themselves neighbors — i.e. it lies on a shortest path between
+// some pair of its neighbors.
+//
+// Rule 1: a marked node v unmarks itself when some marked neighbor u with
+// higher ID covers it entirely: N[v] ⊆ N[u].
+//
+// Rule 2: a marked node v unmarks itself when two *adjacent* marked
+// neighbors u, w with higher IDs jointly cover its open neighborhood:
+// N(v) ⊆ N(u) ∪ N(w).
+//
+// On a complete graph no node is ever marked (every pair of neighbors is
+// adjacent); the conventional fix — also used here — is to fall back to a
+// single arbitrary dominator (the lowest ID).
+package marking
+
+import (
+	"clustercast/internal/graph"
+)
+
+// Build runs the marking process with Rules 1 and 2 on g and returns the
+// resulting CDS membership.
+func Build(g *graph.Graph) map[int]bool {
+	n := g.N()
+	if n == 0 {
+		return map[int]bool{}
+	}
+	// Neighbor sets for O(1) adjacency tests.
+	nbr := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		m := make(map[int]bool, g.Degree(v))
+		for _, u := range g.Neighbors(v) {
+			m[u] = true
+		}
+		nbr[v] = m
+	}
+
+	marked := make(map[int]bool)
+	for v := 0; v < n; v++ {
+		list := g.Neighbors(v)
+		for i := 0; i < len(list) && !marked[v]; i++ {
+			for j := i + 1; j < len(list); j++ {
+				if !nbr[list[i]][list[j]] {
+					marked[v] = true
+					break
+				}
+			}
+		}
+	}
+
+	// Rule 1: coverage by one higher-ID marked neighbor.
+	// closedSubset reports N[v] ⊆ N[u].
+	closedSubset := func(v, u int) bool {
+		if !nbr[u][v] {
+			return false
+		}
+		for _, x := range g.Neighbors(v) {
+			if x != u && !nbr[u][x] {
+				return false
+			}
+		}
+		return true
+	}
+	for v := 0; v < n; v++ {
+		if !marked[v] {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if marked[u] && u > v && closedSubset(v, u) {
+				delete(marked, v)
+				break
+			}
+		}
+	}
+
+	// Rule 2: joint coverage by two adjacent higher-ID marked neighbors.
+	for v := 0; v < n; v++ {
+		if !marked[v] {
+			continue
+		}
+		var cand []int
+		for _, u := range g.Neighbors(v) {
+			if marked[u] && u > v {
+				cand = append(cand, u)
+			}
+		}
+	rule2:
+		for i := 0; i < len(cand); i++ {
+			for j := i + 1; j < len(cand); j++ {
+				u, w := cand[i], cand[j]
+				if !nbr[u][w] {
+					continue
+				}
+				covered := true
+				for _, x := range g.Neighbors(v) {
+					if x != u && x != w && !nbr[u][x] && !nbr[w][x] {
+						covered = false
+						break
+					}
+				}
+				if covered {
+					delete(marked, v)
+					break rule2
+				}
+			}
+		}
+	}
+
+	if len(marked) == 0 {
+		// Complete graph (or single node): one dominator suffices.
+		marked[0] = true
+	}
+	return marked
+}

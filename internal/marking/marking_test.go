@@ -1,0 +1,173 @@
+package marking
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clustercast/internal/geom"
+	"clustercast/internal/graph"
+	"clustercast/internal/rng"
+	"clustercast/internal/topology"
+)
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestMarkingPath(t *testing.T) {
+	// On a path every interior node has two non-adjacent neighbors; the
+	// rules cannot prune (no closed-neighborhood containment on a path of
+	// distinct interior nodes), so the CDS is the n−2 interior nodes.
+	g := pathGraph(6)
+	set := Build(g)
+	if graph.SetSize(set) != 4 {
+		t.Fatalf("path CDS = %v, want interior nodes", graph.SortedMembers(set))
+	}
+	if set[0] || set[5] {
+		t.Fatal("endpoints must not be marked")
+	}
+	if !g.IsCDS(set) {
+		t.Fatal("marking on a path must yield a CDS")
+	}
+}
+
+func TestMarkingCompleteGraph(t *testing.T) {
+	g := graph.New(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	set := Build(g)
+	if graph.SetSize(set) != 1 {
+		t.Fatalf("complete graph fallback: %v", graph.SortedMembers(set))
+	}
+	if !g.IsCDS(set) {
+		t.Fatal("fallback must still be a CDS")
+	}
+}
+
+func TestMarkingStar(t *testing.T) {
+	g := graph.FromEdges(5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	set := Build(g)
+	if graph.SetSize(set) != 1 || !set[0] {
+		t.Fatalf("star CDS = %v, want {0}", graph.SortedMembers(set))
+	}
+}
+
+func TestRule1Prunes(t *testing.T) {
+	// Two adjacent centers with identical leaf coverage: 0 and 1 both see
+	// leaves 2,3; N[0] ⊆ N[1], id 0 < 1 → 0 unmarks, 1 stays.
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}})
+	set := Build(g)
+	if set[0] {
+		t.Fatalf("Rule 1 should have unmarked node 0: %v", graph.SortedMembers(set))
+	}
+	if !set[1] {
+		t.Fatal("node 1 must stay marked")
+	}
+	if !g.IsCDS(set) {
+		t.Fatal("result must be a CDS")
+	}
+}
+
+func TestMarkingEmptyAndSingle(t *testing.T) {
+	if got := Build(graph.New(0)); len(got) != 0 {
+		t.Fatal("empty graph")
+	}
+	if got := Build(graph.New(1)); graph.SetSize(got) != 1 {
+		t.Fatal("single node must dominate itself")
+	}
+}
+
+// Property: the marking process yields a CDS on random connected networks
+// and never exceeds the full node set.
+func TestQuickMarkingIsCDS(t *testing.T) {
+	f := func(seed uint64, dense bool) bool {
+		deg := 6.0
+		if dense {
+			deg = 18.0
+		}
+		r := rng.New(seed)
+		nw, err := topology.Generate(topology.Config{
+			N: 50, Bounds: geom.Square(100), AvgDegree: deg,
+			RequireConnected: true, MaxAttempts: 400,
+		}, r)
+		if err != nil {
+			return true
+		}
+		set := Build(nw.G)
+		return nw.G.IsCDS(set) && graph.SetSize(set) <= nw.G.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Rules 1+2 only shrink the plain marking.
+func TestQuickRulesOnlyShrink(t *testing.T) {
+	plainMarking := func(g *graph.Graph) int {
+		nbr := make([]map[int]bool, g.N())
+		for v := 0; v < g.N(); v++ {
+			m := make(map[int]bool)
+			for _, u := range g.Neighbors(v) {
+				m[u] = true
+			}
+			nbr[v] = m
+		}
+		count := 0
+		for v := 0; v < g.N(); v++ {
+			list := g.Neighbors(v)
+			found := false
+			for i := 0; i < len(list) && !found; i++ {
+				for j := i + 1; j < len(list); j++ {
+					if !nbr[list[i]][list[j]] {
+						found = true
+						break
+					}
+				}
+			}
+			if found {
+				count++
+			}
+		}
+		return count
+	}
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nw, err := topology.Generate(topology.Config{
+			N: 40, Bounds: geom.Square(100), AvgDegree: 10,
+			RequireConnected: true, MaxAttempts: 400,
+		}, r)
+		if err != nil {
+			return true
+		}
+		pruned := graph.SetSize(Build(nw.G))
+		plain := plainMarking(nw.G)
+		if plain == 0 {
+			return pruned == 1 // complete-graph fallback
+		}
+		return pruned <= plain
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMarking100(b *testing.B) {
+	r := rng.New(1)
+	nw, err := topology.Generate(topology.Config{
+		N: 100, Bounds: geom.Square(100), AvgDegree: 18, RequireConnected: true,
+	}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Build(nw.G)
+	}
+}

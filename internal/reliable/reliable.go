@@ -1,0 +1,183 @@
+// Package reliable implements reliable broadcast delivery over the
+// cluster-based forwarding tree, after Pagani and Rossi (1999): the tree
+// (clusterhead → gateway → clusterhead levels) gives every node a parent
+// responsible for its delivery, so lost copies are repaired by
+// retransmission instead of by flooding redundancy.
+//
+// The simulation model extends the repository's broadcast engine with
+// acknowledgements. The packet first climbs from the source's attachment
+// point to the tree root, then flows down every branch; in each round a
+// tree node holding the packet retransmits while some peer it is
+// responsible for — its unconfirmed tree children, its unconfirmed
+// dominated (non-tree) neighbors, or a parent that has not yet been heard
+// holding the packet — is outstanding. Per-copy loss is Bernoulli;
+// acknowledgements are assumed reliable (short ARQ control frames in the
+// real protocol).
+package reliable
+
+import (
+	"fmt"
+
+	"clustercast/internal/fwdtree"
+	"clustercast/internal/graph"
+	"clustercast/internal/rng"
+)
+
+// Result summarizes one reliable broadcast.
+type Result struct {
+	// Delivered reports whether every node received the packet.
+	Delivered bool
+	// Transmissions counts data transmissions (retransmissions included).
+	Transmissions int
+	// Acks counts acknowledgement messages sent.
+	Acks int
+	// Rounds is the number of rounds until quiescence (or the cutoff).
+	Rounds int
+}
+
+// Config tunes the run.
+type Config struct {
+	// Loss is the per-copy Bernoulli loss probability (0 = ideal radio).
+	Loss float64
+	// Seed drives the loss draws.
+	Seed uint64
+	// MaxRounds cuts off pathological runs (default 10·n, at least 100).
+	MaxRounds int
+}
+
+// Run performs one reliable broadcast of a packet originating at source
+// over the forwarding tree t in graph g.
+func Run(g *graph.Graph, t *fwdtree.Tree, source int, cfg Config) (*Result, error) {
+	n := g.N()
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("reliable: source %d out of range", source)
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 10 * n
+		if maxRounds < 100 {
+			maxRounds = 100
+		}
+	}
+	loss := rng.NewLabeled(cfg.Seed, "reliable-loss")
+
+	// children[v]: tree children of v.
+	children := make(map[int][]int)
+	for v, p := range t.Parent {
+		children[p] = append(children[p], v)
+	}
+	// dominator[v]: for non-tree v, the lowest-ID tree neighbor, which is
+	// responsible for v's delivery. responsible is its inverse.
+	responsible := make(map[int][]int)
+	dominator := make([]int, n)
+	for v := 0; v < n; v++ {
+		dominator[v] = -1
+		if t.Nodes[v] {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if t.Nodes[u] && (dominator[v] == -1 || u < dominator[v]) {
+				dominator[v] = u
+			}
+		}
+		if dominator[v] != -1 {
+			responsible[dominator[v]] = append(responsible[dominator[v]], v)
+		}
+	}
+
+	has := make([]bool, n)
+	has[source] = true
+	// confirmed[v][x]: v knows x holds the packet (x acked v, or v heard
+	// the packet from x).
+	confirmed := make([]map[int]bool, n)
+	confirm := func(v, x int) {
+		if confirmed[v] == nil {
+			confirmed[v] = make(map[int]bool)
+		}
+		confirmed[v][x] = true
+	}
+	knows := func(v, x int) bool { return confirmed[v][x] }
+
+	parentOf := func(v int) (int, bool) {
+		p, ok := t.Parent[v]
+		return p, ok
+	}
+
+	// wantsToSend reports whether v still owes somebody the packet.
+	wantsToSend := func(v int) bool {
+		if !has[v] {
+			return false
+		}
+		if !t.Nodes[v] {
+			// Off-tree holder (only ever the source): push until some tree
+			// neighbor is known to hold the packet.
+			if v != source {
+				return false
+			}
+			for _, u := range g.Neighbors(v) {
+				if t.Nodes[u] && knows(v, u) {
+					return false
+				}
+			}
+			return true
+		}
+		if p, ok := parentOf(v); ok && !knows(v, p) {
+			return true // climb toward the root
+		}
+		for _, c := range children[v] {
+			if !knows(v, c) {
+				return true
+			}
+		}
+		for _, w := range responsible[v] {
+			if !knows(v, w) {
+				return true
+			}
+		}
+		return false
+	}
+
+	res := &Result{}
+	for round := 1; round <= maxRounds; round++ {
+		var senders []int
+		for v := 0; v < n; v++ {
+			if wantsToSend(v) {
+				senders = append(senders, v)
+			}
+		}
+		if len(senders) == 0 {
+			break
+		}
+		res.Rounds = round
+		for _, s := range senders {
+			res.Transmissions++
+			for _, v := range g.Neighbors(s) {
+				if loss.Bool(cfg.Loss) {
+					continue
+				}
+				has[v] = true
+				confirm(v, s) // hearing the packet from s proves s holds it
+				// v acknowledges the senders that wait on it: its parent
+				// pushing down, its dominator, its child pushing up, or an
+				// off-tree source booting the dissemination.
+				pv, okv := parentOf(v)
+				ps, oks := parentOf(s)
+				waiting := (okv && pv == s) || dominator[v] == s || (oks && ps == v) ||
+					(s == source && !t.Nodes[source] && t.Nodes[v])
+				if waiting && !knows(s, v) {
+					confirm(s, v)
+					res.Acks++
+				}
+			}
+		}
+	}
+
+	res.Delivered = true
+	for v := 0; v < n; v++ {
+		if !has[v] {
+			res.Delivered = false
+			break
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,112 @@
+// Package routing implements on-demand route discovery over a broadcast
+// service — the application that motivates efficient broadcasting in the
+// paper's introduction (and the cluster-based routing protocol line of
+// work it cites): a route request (RREQ) is flooded from the source; every
+// node remembers the neighbor that delivered its first copy; when the
+// request reaches the destination, the reverse chain of those parent
+// pointers is the discovered route, returned by a unicast route reply.
+//
+// The broadcast protocol used for the RREQ flood determines the trade-off:
+// blind flooding costs n transmissions and finds shortest (BFS) routes;
+// broadcasting over a CDS backbone costs a fraction of the transmissions
+// but may return slightly longer routes (the route is confined to
+// backbone-covered parent chains). Stretch quantifies that penalty.
+package routing
+
+import (
+	"fmt"
+
+	"clustercast/internal/broadcast"
+	"clustercast/internal/graph"
+)
+
+// Route is a discovered source→destination path.
+type Route struct {
+	// Hops is the node sequence from source to destination inclusive.
+	Hops []int
+	// RequestCost is the number of RREQ transmissions the discovery flood
+	// used (the broadcast's forward-node count).
+	RequestCost int
+	// ReplyCost is the number of RREP unicast transmissions (route length).
+	ReplyCost int
+}
+
+// Len returns the hop length of the route (edges, not nodes).
+func (r *Route) Len() int { return len(r.Hops) - 1 }
+
+// ErrUnreachable is returned when the RREQ flood does not reach the
+// destination.
+var ErrUnreachable = fmt.Errorf("routing: destination unreachable by the discovery flood")
+
+// Discover floods a route request from src under the given broadcast
+// protocol and extracts the route to dst from the delivery tree.
+func Discover(g *graph.Graph, src, dst int, p broadcast.Protocol) (*Route, error) {
+	if src == dst {
+		return &Route{Hops: []int{src}, RequestCost: 0, ReplyCost: 0}, nil
+	}
+	res := broadcast.Run(g, src, p)
+	if !res.Received[dst] {
+		return nil, ErrUnreachable
+	}
+	var rev []int
+	for x := dst; ; {
+		rev = append(rev, x)
+		if x == src {
+			break
+		}
+		parent, ok := res.Parent[x]
+		if !ok {
+			return nil, fmt.Errorf("routing: broken parent chain at node %d", x)
+		}
+		x = parent
+		if len(rev) > g.N() {
+			return nil, fmt.Errorf("routing: parent cycle while extracting route")
+		}
+	}
+	hops := make([]int, len(rev))
+	for i, v := range rev {
+		hops[len(rev)-1-i] = v
+	}
+	return &Route{
+		Hops:        hops,
+		RequestCost: res.ForwardCount(),
+		ReplyCost:   len(hops) - 1,
+	}, nil
+}
+
+// Validate checks that the route is a real path in g from src to dst.
+func (r *Route) Validate(g *graph.Graph, src, dst int) error {
+	if len(r.Hops) == 0 {
+		return fmt.Errorf("routing: empty route")
+	}
+	if r.Hops[0] != src || r.Hops[len(r.Hops)-1] != dst {
+		return fmt.Errorf("routing: endpoints %d→%d, want %d→%d",
+			r.Hops[0], r.Hops[len(r.Hops)-1], src, dst)
+	}
+	seen := make(map[int]bool, len(r.Hops))
+	for i, v := range r.Hops {
+		if seen[v] {
+			return fmt.Errorf("routing: node %d repeats", v)
+		}
+		seen[v] = true
+		if i > 0 && !g.HasEdge(r.Hops[i-1], v) {
+			return fmt.Errorf("routing: %d-%d is not an edge", r.Hops[i-1], v)
+		}
+	}
+	return nil
+}
+
+// Stretch returns the ratio of the route's length to the shortest-path
+// distance in g (1.0 = optimal). It returns 0 when the pair is adjacent to
+// identical (degenerate single-node routes).
+func (r *Route) Stretch(g *graph.Graph) float64 {
+	if len(r.Hops) < 2 {
+		return 0
+	}
+	dist := g.BFS(r.Hops[0])
+	d := dist[r.Hops[len(r.Hops)-1]]
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.Len()) / float64(d)
+}

@@ -1,0 +1,206 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clustercast/internal/broadcast"
+	"clustercast/internal/cluster"
+	"clustercast/internal/coverage"
+	"clustercast/internal/dynamicb"
+	"clustercast/internal/geom"
+	"clustercast/internal/graph"
+	"clustercast/internal/rng"
+	"clustercast/internal/topology"
+)
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestDiscoverOnPath(t *testing.T) {
+	g := pathGraph(5)
+	r, err := Discover(g, 0, 4, broadcast.Flooding{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(g, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("route length %d, want 4", r.Len())
+	}
+	if r.Stretch(g) != 1.0 {
+		t.Fatalf("stretch = %g, want 1", r.Stretch(g))
+	}
+	if r.ReplyCost != 4 || r.RequestCost != 5 {
+		t.Fatalf("costs = %d/%d", r.RequestCost, r.ReplyCost)
+	}
+}
+
+func TestDiscoverSelf(t *testing.T) {
+	g := pathGraph(3)
+	r, err := Discover(g, 1, 1, broadcast.Flooding{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 || r.RequestCost != 0 {
+		t.Fatalf("self route = %+v", r)
+	}
+}
+
+func TestDiscoverUnreachable(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if _, err := Discover(g, 0, 3, broadcast.Flooding{}); err != ErrUnreachable {
+		t.Fatalf("want ErrUnreachable, got %v", err)
+	}
+}
+
+func TestValidateRejectsBadRoutes(t *testing.T) {
+	g := pathGraph(4)
+	bad := []*Route{
+		{Hops: []int{}},
+		{Hops: []int{1, 2}},             // wrong endpoints for 0→3
+		{Hops: []int{0, 2, 3}},          // 0-2 not an edge
+		{Hops: []int{0, 1, 0, 1, 2, 3}}, // repeats
+	}
+	for i, r := range bad {
+		if err := r.Validate(g, 0, 3); err == nil {
+			t.Fatalf("case %d: Validate accepted a bad route", i)
+		}
+	}
+}
+
+func TestFloodingRoutesAreShortest(t *testing.T) {
+	r := rng.New(3)
+	nw, err := topology.Generate(topology.Config{
+		N: 60, Bounds: geom.Square(100), AvgDegree: 10,
+		RequireConnected: true, MaxAttempts: 300,
+	}, r)
+	if err != nil {
+		t.Skip(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		src, dst := r.Intn(60), r.Intn(60)
+		route, err := Discover(nw.G, src, dst, broadcast.Flooding{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := route.Validate(nw.G, src, dst); err != nil {
+			t.Fatal(err)
+		}
+		if src != dst && route.Stretch(nw.G) != 1.0 {
+			t.Fatalf("flooding RREQ found non-shortest route: stretch %g", route.Stretch(nw.G))
+		}
+	}
+}
+
+// Property: discovery over the dynamic backbone always finds a valid route
+// on connected networks, with bounded stretch and fewer RREQ transmissions
+// than flooding.
+func TestQuickBackboneDiscovery(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nw, err := topology.Generate(topology.Config{
+			N: 50, Bounds: geom.Square(100), AvgDegree: 12,
+			RequireConnected: true, MaxAttempts: 300,
+		}, r)
+		if err != nil {
+			return true
+		}
+		cl := cluster.LowestID(nw.G)
+		dyn := dynamicb.New(nw.G, cl, coverage.Hop25)
+		src, dst := r.Intn(50), r.Intn(50)
+		if src == dst {
+			return true
+		}
+		route, err := Discover(nw.G, src, dst, dyn)
+		if err != nil {
+			return false
+		}
+		if route.Validate(nw.G, src, dst) != nil {
+			return false
+		}
+		flood, err := Discover(nw.G, src, dst, broadcast.Flooding{})
+		if err != nil {
+			return false
+		}
+		if route.RequestCost > flood.RequestCost {
+			return false
+		}
+		// Stretch stays modest: the backbone adds at most a few hops.
+		return route.Stretch(nw.G) <= 3.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStretchVsCostTradeoff measures the headline numbers: backbone
+// discovery saves most RREQ transmissions at a small average stretch.
+func TestStretchVsCostTradeoff(t *testing.T) {
+	root := rng.New(11)
+	var floodCost, dynCost int
+	var stretchSum float64
+	count := 0
+	for trial := 0; trial < 25; trial++ {
+		nw, err := topology.Generate(topology.Config{
+			N: 80, Bounds: geom.Square(100), AvgDegree: 18,
+			RequireConnected: true, MaxAttempts: 300,
+		}, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := cluster.LowestID(nw.G)
+		dyn := dynamicb.New(nw.G, cl, coverage.Hop25)
+		src, dst := root.Intn(80), root.Intn(80)
+		if src == dst {
+			continue
+		}
+		fr, err := Discover(nw.G, src, dst, broadcast.Flooding{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dr, err := Discover(nw.G, src, dst, dyn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		floodCost += fr.RequestCost
+		dynCost += dr.RequestCost
+		stretchSum += dr.Stretch(nw.G)
+		count++
+	}
+	if dynCost >= floodCost {
+		t.Fatalf("backbone discovery cost %d should beat flooding %d", dynCost, floodCost)
+	}
+	avgStretch := stretchSum / float64(count)
+	if avgStretch > 2 {
+		t.Fatalf("average stretch %.2f too high", avgStretch)
+	}
+	t.Logf("RREQ cost: flooding=%d dynamic=%d (−%.0f%%); avg stretch %.2f",
+		floodCost, dynCost, 100*(1-float64(dynCost)/float64(floodCost)), avgStretch)
+}
+
+func BenchmarkDiscover100(b *testing.B) {
+	r := rng.New(1)
+	nw, err := topology.Generate(topology.Config{
+		N: 100, Bounds: geom.Square(100), AvgDegree: 18, RequireConnected: true,
+	}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := cluster.LowestID(nw.G)
+	dyn := dynamicb.New(nw.G, cl, coverage.Hop25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Discover(nw.G, i%100, (i+50)%100, dyn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package stats provides the statistical machinery behind the paper's
+// evaluation methodology: descriptive statistics, Student-t confidence
+// intervals, and the replication loop "repeat the simulation until the 99%
+// confidence interval of the result is within ±5%".
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Summary holds running moments of a sample (Welford's algorithm, so a
+// million replicates cost O(1) memory and stay numerically stable).
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty summary).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance (0 when n < 2).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI returns the half-width of the two-sided confidence interval for the
+// mean at the given confidence level (e.g. 0.99), using the Student-t
+// distribution with n−1 degrees of freedom. It returns +Inf when n < 2.
+func (s *Summary) CI(confidence float64) float64 {
+	if s.n < 2 {
+		return math.Inf(1)
+	}
+	t := TQuantile(1-(1-confidence)/2, s.n-1)
+	return t * s.StdErr()
+}
+
+// lgamma returns log Γ(x) for x > 0.
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaIncReg computes the regularized incomplete beta function I_x(a, b)
+// by the continued-fraction expansion (Lentz's method), following the
+// classic Numerical Recipes formulation.
+func betaIncReg(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(lbeta)
+	// Use the symmetry relation to keep the continued fraction convergent.
+	if x > (a+1)/(a+b+2) {
+		return 1 - betaIncReg(b, a, 1-x)
+	}
+	const (
+		maxIter = 500
+		eps     = 1e-14
+		tiny    = 1e-300
+	)
+	c := 1.0
+	d := 1 - (a+b)*x/(a+1)
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		// Even step.
+		num := fm * (b - fm) * x / ((a + 2*fm - 1) * (a + 2*fm))
+		d = 1 + num*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		d = 1 / d
+		c = 1 + num/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		h *= d * c
+		// Odd step.
+		num = -(a + fm) * (a + b + fm) * x / ((a + 2*fm) * (a + 2*fm + 1))
+		d = 1 + num*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		d = 1 / d
+		c = 1 + num/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return front * h / a
+}
+
+// tCDF is the cumulative distribution function of Student's t with df
+// degrees of freedom.
+func tCDF(t float64, df int) float64 {
+	if df <= 0 {
+		panic("stats: non-positive degrees of freedom")
+	}
+	v := float64(df)
+	x := v / (v + t*t)
+	p := 0.5 * betaIncReg(v/2, 0.5, x)
+	if t > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// TQuantile returns the p-quantile (0 < p < 1) of Student's t distribution
+// with df degrees of freedom, by bisection on the CDF. Accuracy ~1e-10,
+// plenty for confidence intervals.
+func TQuantile(p float64, df int) float64 {
+	if p <= 0 || p >= 1 {
+		panic("stats: quantile probability out of (0,1)")
+	}
+	if p == 0.5 {
+		return 0
+	}
+	if p < 0.5 {
+		return -TQuantile(1-p, df)
+	}
+	lo, hi := 0.0, 2.0
+	for tCDF(hi, df) < p {
+		hi *= 2
+		if hi > 1e12 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if tCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// StopRule is the paper's replication stopping rule.
+type StopRule struct {
+	// Confidence of the interval (paper: 0.99).
+	Confidence float64
+	// RelHalfWidth is the target half-width relative to the mean
+	// (paper: 0.05).
+	RelHalfWidth float64
+	// MinReplicates guards against lucky early stops (default 30).
+	MinReplicates int
+	// MaxReplicates bounds runtime (default 10000).
+	MaxReplicates int
+}
+
+// PaperRule returns the rule used throughout the paper's simulations:
+// replicate until the 99% CI is within ±5% of the mean.
+func PaperRule() StopRule {
+	return StopRule{Confidence: 0.99, RelHalfWidth: 0.05}
+}
+
+// normalized fills defaults.
+func (r StopRule) normalized() StopRule {
+	if r.Confidence == 0 {
+		r.Confidence = 0.99
+	}
+	if r.RelHalfWidth == 0 {
+		r.RelHalfWidth = 0.05
+	}
+	if r.MinReplicates == 0 {
+		r.MinReplicates = 30
+	}
+	if r.MaxReplicates == 0 {
+		r.MaxReplicates = 10000
+	}
+	return r
+}
+
+// Done reports whether the summary satisfies the rule.
+func (r StopRule) Done(s *Summary) bool {
+	r = r.normalized()
+	if s.N() < r.MinReplicates {
+		return false
+	}
+	if s.N() >= r.MaxReplicates {
+		return true
+	}
+	mean := math.Abs(s.Mean())
+	if mean == 0 {
+		// A degenerate all-zero sample: the CI half-width is 0 too, and
+		// the relative criterion is vacuously met.
+		return s.CI(r.Confidence) == 0
+	}
+	return s.CI(r.Confidence) <= r.RelHalfWidth*mean
+}
+
+// ErrNoObservations is returned by Replicate when the estimator never
+// produces a value.
+var ErrNoObservations = errors.New("stats: estimator produced no observations")
+
+// Replicate drives an estimator until the stopping rule is met. The
+// estimator receives the replicate index and returns one observation and
+// ok=false to skip (e.g. a discarded disconnected topology — skips do not
+// count toward the replicate budget beyond a 10× safety factor).
+func Replicate(rule StopRule, estimator func(rep int) (float64, bool)) (*Summary, error) {
+	rule = rule.normalized()
+	s := &Summary{}
+	skips := 0
+	for rep := 0; ; rep++ {
+		if rule.Done(s) {
+			return s, nil
+		}
+		x, ok := estimator(rep)
+		if !ok {
+			skips++
+			if skips > 10*rule.MaxReplicates {
+				if s.N() == 0 {
+					return s, ErrNoObservations
+				}
+				return s, nil
+			}
+			continue
+		}
+		s.Add(x)
+	}
+}

@@ -1,0 +1,160 @@
+package topology
+
+import (
+	"clustercast/internal/geom"
+	"clustercast/internal/rng"
+)
+
+// MobilityModel advances node positions by one time step and reports the
+// new positions. Implementations own their node state.
+type MobilityModel interface {
+	// Step advances the model by dt time units and returns the positions
+	// after the step. The returned slice is owned by the model.
+	Step(dt float64) []geom.Point
+	// Positions returns the current positions without advancing.
+	Positions() []geom.Point
+}
+
+// RandomWaypoint implements the classic random waypoint mobility model:
+// each node picks a uniform destination in the area and a uniform speed in
+// [MinSpeed, MaxSpeed], travels there in a straight line, pauses for
+// PauseTime, then repeats.
+type RandomWaypoint struct {
+	Bounds    geom.Rect
+	MinSpeed  float64
+	MaxSpeed  float64
+	PauseTime float64
+
+	rng       *rng.Stream
+	positions []geom.Point
+	targets   []geom.Point
+	speeds    []float64
+	pauses    []float64 // remaining pause time per node
+}
+
+// NewRandomWaypoint creates the model with the given starting positions.
+func NewRandomWaypoint(start []geom.Point, bounds geom.Rect, minSpeed, maxSpeed, pause float64, r *rng.Stream) *RandomWaypoint {
+	if minSpeed <= 0 {
+		minSpeed = 0.01 // avoid the well-known speed-decay degeneracy at 0
+	}
+	if maxSpeed < minSpeed {
+		maxSpeed = minSpeed
+	}
+	m := &RandomWaypoint{
+		Bounds:    bounds,
+		MinSpeed:  minSpeed,
+		MaxSpeed:  maxSpeed,
+		PauseTime: pause,
+		rng:       r,
+		positions: append([]geom.Point(nil), start...),
+		targets:   make([]geom.Point, len(start)),
+		speeds:    make([]float64, len(start)),
+		pauses:    make([]float64, len(start)),
+	}
+	for i := range m.positions {
+		m.retarget(i)
+	}
+	return m
+}
+
+func (m *RandomWaypoint) retarget(i int) {
+	m.targets[i] = geom.Point{
+		X: m.rng.Range(m.Bounds.MinX, m.Bounds.MaxX),
+		Y: m.rng.Range(m.Bounds.MinY, m.Bounds.MaxY),
+	}
+	m.speeds[i] = m.rng.Range(m.MinSpeed, m.MaxSpeed)
+}
+
+// Positions implements MobilityModel.
+func (m *RandomWaypoint) Positions() []geom.Point { return m.positions }
+
+// Step implements MobilityModel.
+func (m *RandomWaypoint) Step(dt float64) []geom.Point {
+	for i := range m.positions {
+		remaining := dt
+		for remaining > 0 {
+			if m.pauses[i] > 0 {
+				if m.pauses[i] >= remaining {
+					m.pauses[i] -= remaining
+					remaining = 0
+					break
+				}
+				remaining -= m.pauses[i]
+				m.pauses[i] = 0
+			}
+			p := m.positions[i]
+			tgt := m.targets[i]
+			distLeft := p.Dist(tgt)
+			travel := m.speeds[i] * remaining
+			if travel < distLeft {
+				t := travel / distLeft
+				m.positions[i] = p.Lerp(tgt, t)
+				remaining = 0
+			} else {
+				m.positions[i] = tgt
+				if m.speeds[i] > 0 {
+					remaining -= distLeft / m.speeds[i]
+				} else {
+					remaining = 0
+				}
+				m.pauses[i] = m.PauseTime
+				m.retarget(i)
+			}
+		}
+	}
+	return m.positions
+}
+
+// RandomWalk implements a simple random-walk (Brownian-like) model: each
+// step, every node moves a normally distributed displacement and reflects
+// off the area boundary.
+type RandomWalk struct {
+	Bounds   geom.Rect
+	StepSize float64 // standard deviation of per-unit-time displacement
+
+	rng       *rng.Stream
+	positions []geom.Point
+}
+
+// NewRandomWalk creates the model with the given starting positions.
+func NewRandomWalk(start []geom.Point, bounds geom.Rect, stepSize float64, r *rng.Stream) *RandomWalk {
+	return &RandomWalk{
+		Bounds:    bounds,
+		StepSize:  stepSize,
+		rng:       r,
+		positions: append([]geom.Point(nil), start...),
+	}
+}
+
+// Positions implements MobilityModel.
+func (m *RandomWalk) Positions() []geom.Point { return m.positions }
+
+// Step implements MobilityModel.
+func (m *RandomWalk) Step(dt float64) []geom.Point {
+	for i, p := range m.positions {
+		q := geom.Point{
+			X: p.X + m.rng.NormFloat64()*m.StepSize*dt,
+			Y: p.Y + m.rng.NormFloat64()*m.StepSize*dt,
+		}
+		m.positions[i] = reflect(q, m.Bounds)
+	}
+	return m.positions
+}
+
+// reflect mirrors a point back into bounds (one bounce is enough for the
+// step sizes used here; clamp handles pathological overshoot).
+func reflect(p geom.Point, b geom.Rect) geom.Point {
+	if p.X < b.MinX {
+		p.X = 2*b.MinX - p.X
+	}
+	if p.X > b.MaxX {
+		p.X = 2*b.MaxX - p.X
+	}
+	if p.Y < b.MinY {
+		p.Y = 2*b.MinY - p.Y
+	}
+	if p.Y > b.MaxY {
+		p.Y = 2*b.MaxY - p.Y
+	}
+	return b.Clamp(p)
+}
