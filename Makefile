@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test test-race bench-smoke bench figures
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+# Race-detector pass over the whole module; the replication and experiment
+# packages exercise the parallel paths directly.
+test-race:
+	$(GO) test -race ./...
+
+# Quick benchmark smoke: the end-to-end sweep point plus the hot kernels it
+# is built from. Compare against BENCH_PR1.json for regressions.
+bench-smoke:
+	$(GO) test -run xxx -bench 'SweepPoint|TopologyGenerate|CoverageBuilder|StaticBackbone|DynamicBroadcast|BitsetOps' -benchtime 1s .
+
+# Full benchmark suite (several minutes).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1s .
+
+# Regenerate the paper's figures (CSV + markdown under figures/).
+figures:
+	$(GO) run ./cmd/figures

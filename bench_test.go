@@ -23,8 +23,10 @@ import (
 	"clustercast/internal/cluster"
 	"clustercast/internal/core"
 	"clustercast/internal/coverage"
+	"clustercast/internal/experiment"
 	"clustercast/internal/fwdtree"
 	"clustercast/internal/geom"
+	"clustercast/internal/graph"
 	"clustercast/internal/hier"
 	"clustercast/internal/marking"
 	"clustercast/internal/mcds"
@@ -34,6 +36,7 @@ import (
 	"clustercast/internal/rng"
 	"clustercast/internal/routing"
 	"clustercast/internal/sim"
+	"clustercast/internal/stats"
 	"clustercast/internal/topology"
 )
 
@@ -596,4 +599,120 @@ func BenchmarkElection(b *testing.B) {
 			b.ReportMetric(float64(total)/float64(b.N), "cds-size")
 		})
 	}
+}
+
+// BenchmarkTopologyGenerate measures raw connected-topology sampling at the
+// paper's dense operating point (n=100, d=18): placement, spatial-grid
+// neighbor discovery, graph assembly, and the connectivity check.
+func BenchmarkTopologyGenerate(b *testing.B) {
+	for _, n := range []int{100, 500} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := rng.New(42)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := topology.Generate(topology.Config{
+					N: n, Bounds: geom.Square(100), AvgDegree: 18, RequireConnected: true,
+				}, r)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCoverageBuilder measures the CH_HOP1/CH_HOP2 digest plus all
+// per-head coverage sets — the inner kernel of every backbone build.
+func BenchmarkCoverageBuilder(b *testing.B) {
+	for _, mode := range []coverage.Mode{coverage.Hop25, coverage.Hop3} {
+		b.Run(mode.String(), func(b *testing.B) {
+			nw := sample(b, 100, 18, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cb := coverage.NewBuilder(nw.Graph(), nw.Clustering, mode)
+				for _, h := range nw.Clustering.Heads {
+					_ = cb.Of(h)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStaticBackbone measures the greedy gateway selection over a
+// prebuilt coverage builder (set-cover hot path, Figure 6's algorithm).
+func BenchmarkStaticBackbone(b *testing.B) {
+	nw := sample(b, 100, 18, 1)
+	cb := coverage.NewBuilder(nw.Graph(), nw.Clustering, coverage.Hop25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = backbone.BuildStaticFrom(cb, nw.Clustering)
+	}
+}
+
+// BenchmarkDynamicBroadcast measures one dynamic-backbone broadcast,
+// including the per-broadcast coverage pruning (Figure 7's hot path).
+func BenchmarkDynamicBroadcast(b *testing.B) {
+	nw := sample(b, 100, 18, 1)
+	p := nw.DynamicProtocol(core.Hop25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = broadcast.Run(nw.Graph(), i%nw.N(), p)
+	}
+}
+
+// BenchmarkSweepPoint measures one full figure data point end to end —
+// n=100, d=18, replicated under the paper's stopping rule (99% CI within
+// ±5%) — exactly what cmd/figures runs per (figure, series, n), through the
+// production batched-replication path at the configured worker count.
+func BenchmarkSweepPoint(b *testing.B) {
+	sc := experiment.DefaultScenario(100, 18, 2003)
+	est := experiment.StaticSizeEstimator(coverage.Hop25)
+	workers := experiment.Parallelism()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum, err := stats.ReplicateN(sc.Rule, workers, func(rep int) (float64, bool) {
+			return est(sc, rep)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Mean() < 10 {
+			b.Fatalf("implausible CDS size %.1f", sum.Mean())
+		}
+	}
+}
+
+// BenchmarkBitsetOps measures the graph.Bitset kernels (union, difference,
+// popcount, iterate) at the coverage-set universe size of the paper's
+// largest sweep point.
+func BenchmarkBitsetOps(b *testing.B) {
+	const n = 100
+	r := rng.New(5)
+	x := graph.NewBitset(n)
+	y := graph.NewBitset(n)
+	for i := 0; i < 30; i++ {
+		x.Add(r.Intn(n))
+		y.Add(r.Intn(n))
+	}
+	scratch := graph.NewBitset(n)
+	b.Run("clone-or-andnot-count", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			scratch.CopyFrom(x)
+			scratch.Or(y)
+			scratch.AndNot(x)
+			_ = scratch.Count()
+		}
+	})
+	b.Run("foreach", func(b *testing.B) {
+		b.ReportAllocs()
+		sum := 0
+		for i := 0; i < b.N; i++ {
+			x.ForEach(func(v int) { sum += v })
+		}
+		_ = sum
+	})
 }

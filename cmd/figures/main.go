@@ -30,12 +30,13 @@ import (
 
 // config holds the parsed command line.
 type config struct {
-	fig    string
-	format string
-	seed   uint64
-	quick  bool
-	maxN   int
-	outDir string
+	fig     string
+	format  string
+	seed    uint64
+	quick   bool
+	maxN    int
+	outDir  string
+	workers int
 }
 
 // figureOrder is the canonical listing: the paper's figures first, then
@@ -103,6 +104,7 @@ func run(cfg config, stdout io.Writer) error {
 			return err
 		}
 	}
+	experiment.SetParallelism(cfg.workers)
 	rule := stats.PaperRule()
 	if cfg.quick {
 		rule = stats.StopRule{Confidence: 0.95, RelHalfWidth: 0.15, MinReplicates: 10, MaxReplicates: 40}
@@ -168,6 +170,8 @@ func main() {
 	flag.BoolVar(&cfg.quick, "quick", false, "use a light replication rule instead of the paper's 99% CI ±5%")
 	flag.IntVar(&cfg.maxN, "maxn", 100, "largest network size in the sweep")
 	flag.StringVar(&cfg.outDir, "out", "", "also write each figure as <dir>/<id>.csv")
+	flag.IntVar(&cfg.workers, "workers", 0,
+		"replication worker count (0: GOMAXPROCS); results are bit-identical for any value")
 	flag.Parse()
 
 	if err := run(cfg, os.Stdout); err != nil {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"clustercast/internal/broadcast"
@@ -37,6 +38,7 @@ type config struct {
 	protocols string
 	wire      bool
 	load      string
+	workers   int
 }
 
 // protocolRun is one row of the comparison table.
@@ -181,7 +183,13 @@ func main() {
 		"comma list: flooding,gossip,mpr,dp,pdp,static-2.5,static-3,dynamic-2.5,dynamic-3,mo-cds,marking,fwd-tree,passive,sba,counter-3,distance (or all)")
 	flag.BoolVar(&cfg.wire, "wire", false, "also run the distributed wire-protocol construction and print message counts")
 	flag.StringVar(&cfg.load, "load", "", "load a topology snapshot (JSON, from topogen -save) instead of generating one")
+	flag.IntVar(&cfg.workers, "workers", 0,
+		"cap the Go scheduler's processor count (0: leave GOMAXPROCS at the default); single runs are sequential either way")
 	flag.Parse()
+
+	if cfg.workers > 0 {
+		runtime.GOMAXPROCS(cfg.workers)
+	}
 
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "manetsim: %v\n", err)

@@ -84,8 +84,8 @@ func main() {
 		cov := b.Of(h)
 		sel := backbone.SelectGateways(cov, nil, nil)
 		fmt.Printf("C(%d) = C²%v ∪ C³%v  →  GATEWAY(%d) = %v\n",
-			paper(h), paperList(graph.SortedMembers(cov.C2)),
-			paperList(graph.SortedMembers(cov.C3)),
+			paper(h), paperList(cov.C2.Members()),
+			paperList(cov.C3.Members()),
 			paper(h), paperList(sel.Gateways))
 	}
 	static := backbone.BuildStaticFrom(b, cl)

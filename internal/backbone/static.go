@@ -13,7 +13,6 @@ package backbone
 
 import (
 	"fmt"
-	"sort"
 
 	"clustercast/internal/cluster"
 	"clustercast/internal/coverage"
@@ -29,7 +28,7 @@ type Selection struct {
 	// relays), ascending.
 	Gateways []int
 	// Covered holds the clusterheads the selection connects to.
-	Covered map[int]bool
+	Covered *graph.Bitset
 }
 
 // Options tunes the gateway selection for ablation experiments. The zero
@@ -51,156 +50,123 @@ type Options struct {
 // clusterhead in need2 ∪ need3: each target in need2 is adjacent to a
 // selected gateway adjacent to the head, and each target in need3 is
 // reached through a selected (gateway, relay) pair.
-func SelectGateways(cov *coverage.Coverage, need2, need3 map[int]bool) Selection {
+func SelectGateways(cov *coverage.Coverage, need2, need3 *graph.Bitset) Selection {
 	return SelectGatewaysOpt(cov, need2, need3, Options{})
 }
 
 // SelectGatewaysOpt is SelectGateways with explicit Options.
-func SelectGatewaysOpt(cov *coverage.Coverage, need2, need3 map[int]bool, opts Options) Selection {
-	c2 := make(map[int]bool)
-	if need2 == nil {
-		for w := range cov.C2 {
-			c2[w] = true
-		}
-	} else {
-		for w, ok := range need2 {
-			if ok && cov.C2[w] {
-				c2[w] = true
-			}
-		}
+func SelectGatewaysOpt(cov *coverage.Coverage, need2, need3 *graph.Bitset, opts Options) Selection {
+	c2 := cov.C2.Clone()
+	if need2 != nil {
+		c2.And(need2)
 	}
-	c3 := make(map[int]bool)
-	if need3 == nil {
-		for w := range cov.C3 {
-			c3[w] = true
-		}
-	} else {
-		for w, ok := range need3 {
-			if ok && cov.C3[w] {
-				c3[w] = true
-			}
-		}
+	c3 := cov.C3.Clone()
+	if need3 != nil {
+		c3.And(need3)
 	}
 
-	sel := Selection{Head: cov.Head, Covered: make(map[int]bool, len(c2)+len(c3))}
-	selected := make(map[int]bool)
+	sel := Selection{Head: cov.Head, Covered: graph.NewBitset(c2.Cap())}
+	selected := graph.NewBitset(c2.Cap())
 
-	// Candidate neighbors, in ascending order for deterministic ties.
-	candidates := make([]int, 0, len(cov.Direct)+len(cov.Indirect))
-	seen := map[int]bool{}
-	for v := range cov.Direct {
-		if !seen[v] {
-			seen[v] = true
-			candidates = append(candidates, v)
-		}
-	}
-	for v := range cov.Indirect {
-		if !seen[v] {
-			seen[v] = true
-			candidates = append(candidates, v)
-		}
-	}
-	sort.Ints(candidates)
+	// Candidate connectors come pre-sorted by neighbor ID, so ascending
+	// scans give the paper's deterministic lowest-ID tie-breaking for free.
+	conns := cov.Conns
 
-	directGain := func(v int) int {
+	directGain := func(cn *coverage.Connector) int {
 		n := 0
-		for _, w := range cov.Direct[v] {
-			if c2[w] {
+		for _, w := range cn.Direct {
+			if c2.Has(w) {
 				n++
 			}
 		}
 		return n
 	}
-	indirectGain := func(v int) int {
+	indirectGain := func(cn *coverage.Connector) int {
 		n := 0
-		for w := range cov.Indirect[v] {
-			if c3[w] {
+		for _, e := range cn.Indirect {
+			if c3.Has(e.W) {
 				n++
 			}
 		}
 		return n
 	}
 
-	take := func(v int) {
-		if !selected[v] {
-			selected[v] = true
-		}
-		for _, w := range cov.Direct[v] {
-			if c2[w] {
-				delete(c2, w)
-				sel.Covered[w] = true
+	take := func(cn *coverage.Connector) {
+		selected.Add(cn.V)
+		for _, w := range cn.Direct {
+			if c2.Has(w) {
+				c2.Remove(w)
+				sel.Covered.Add(w)
 			}
 		}
-		for w, r := range cov.Indirect[v] {
-			if c3[w] {
-				delete(c3, w)
-				sel.Covered[w] = true
-				selected[r] = true
+		for _, e := range cn.Indirect {
+			if c3.Has(e.W) {
+				c3.Remove(e.W)
+				sel.Covered.Add(e.W)
+				selected.Add(e.R)
 			}
 		}
 	}
 
 	// Phase 1: greedily exhaust C².
-	for len(c2) > 0 {
-		best, bestD, bestI := -1, 0, 0
-		for _, v := range candidates {
-			d := directGain(v)
+	for c2.Any() {
+		var best *coverage.Connector
+		bestD, bestI := 0, 0
+		for i := range conns {
+			cn := &conns[i]
+			d := directGain(cn)
 			if d == 0 {
 				continue
 			}
-			i := indirectGain(v)
+			in := indirectGain(cn)
 			if opts.NoIndirectTieBreak {
-				i = 0
+				in = 0
 			}
-			if d > bestD || (d == bestD && i > bestI) {
-				best, bestD, bestI = v, d, i
+			if d > bestD || (d == bestD && in > bestI) {
+				best, bestD, bestI = cn, d, in
 			}
 		}
-		if best == -1 {
+		if best == nil {
 			// Unreachable on a valid coverage set: every w ∈ C² is in some
 			// neighbor's Direct list by construction.
-			panic(fmt.Sprintf("backbone: head %d cannot cover %v", cov.Head, graph.SortedMembers(c2)))
+			panic(fmt.Sprintf("backbone: head %d cannot cover %v", cov.Head, c2.Members()))
 		}
 		take(best)
 	}
 
 	// Phase 2: connect the leftover 3-hop clusterheads with pairs,
 	// preferring pairs that reuse already-selected nodes.
-	for len(c3) > 0 {
+	for c3.Any() {
 		// Deterministic order: smallest remaining target first.
-		w := -1
-		for x := range c3 {
-			if w == -1 || x < w {
-				w = x
-			}
-		}
-		bestV, bestCost := -1, 3
-		for _, v := range candidates {
-			r, ok := cov.Indirect[v][w]
+		w := c3.Min()
+		bestV, bestR, bestCost := -1, -1, 3
+		for i := range conns {
+			cn := &conns[i]
+			r, ok := cn.Relay(w)
 			if !ok {
 				continue
 			}
 			cost := 0
-			if !selected[v] {
+			if !selected.Has(cn.V) {
 				cost++
 			}
-			if !selected[r] {
+			if !selected.Has(r) {
 				cost++
 			}
-			if cost < bestCost || (cost == bestCost && (bestV == -1 || v < bestV)) {
-				bestV, bestCost = v, cost
+			if cost < bestCost || (cost == bestCost && (bestV == -1 || cn.V < bestV)) {
+				bestV, bestR, bestCost = cn.V, r, cost
 			}
 		}
 		if bestV == -1 {
 			panic(fmt.Sprintf("backbone: head %d cannot reach 3-hop clusterhead %d", cov.Head, w))
 		}
-		selected[bestV] = true
-		selected[cov.Indirect[bestV][w]] = true
-		delete(c3, w)
-		sel.Covered[w] = true
+		selected.Add(bestV)
+		selected.Add(bestR)
+		c3.Remove(w)
+		sel.Covered.Add(w)
 	}
 
-	sel.Gateways = graph.SortedMembers(selected)
+	sel.Gateways = selected.Members()
 	return sel
 }
 

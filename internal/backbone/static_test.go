@@ -88,8 +88,8 @@ func TestSelectGatewaysIndirectTieBreak(t *testing.T) {
 	if !reflect.DeepEqual(sel.Gateways, []int{4, 8}) {
 		t.Fatalf("head 4 gateways = %v, want [4 8] (paper {5,9})", sel.Gateways)
 	}
-	if !sel.Covered[0] || !sel.Covered[2] {
-		t.Fatalf("head 4 must cover clusterheads 1 and 3: %v", sel.Covered)
+	if !sel.Covered.Has(0) || !sel.Covered.Has(2) {
+		t.Fatalf("head 4 must cover clusterheads 1 and 3: %v", sel.Covered.Members())
 	}
 }
 
@@ -99,13 +99,13 @@ func TestSelectGatewaysRestrictedNeed(t *testing.T) {
 	g := paperGraph()
 	cl := cluster.LowestID(g)
 	b := coverage.NewBuilder(g, cl, coverage.Hop25)
-	sel := SelectGateways(b.Of(2), map[int]bool{}, map[int]bool{})
+	sel := SelectGateways(b.Of(2), graph.NewBitset(10), graph.NewBitset(10))
 	if len(sel.Gateways) != 0 {
 		t.Fatalf("empty need must select nothing, got %v", sel.Gateways)
 	}
 	// Restricting head 3's need to clusterhead 4 only: select node 9
 	// (lowest ID covering 4; paper example for the dynamic broadcast).
-	sel = SelectGateways(b.Of(2), map[int]bool{3: true}, nil)
+	sel = SelectGateways(b.Of(2), graph.BitsetOf(10, 3), nil)
 	if !reflect.DeepEqual(sel.Gateways, []int{8}) {
 		t.Fatalf("restricted selection = %v, want [8] (paper node 9)", sel.Gateways)
 	}
@@ -115,9 +115,9 @@ func TestSelectGatewaysNeedOutsideCoverageIgnored(t *testing.T) {
 	g := paperGraph()
 	cl := cluster.LowestID(g)
 	b := coverage.NewBuilder(g, cl, coverage.Hop25)
-	// Clusterhead 99 does not exist / is not in C(1); must be ignored.
-	sel := SelectGateways(b.Of(0), map[int]bool{99: true}, map[int]bool{42: true})
-	if len(sel.Gateways) != 0 || len(sel.Covered) != 0 {
+	// Node 9 is neither a clusterhead nor in C(1); it must be ignored.
+	sel := SelectGateways(b.Of(0), graph.BitsetOf(10, 9), graph.BitsetOf(10, 9))
+	if len(sel.Gateways) != 0 || sel.Covered.Any() {
 		t.Fatalf("targets outside the coverage set must be ignored: %+v", sel)
 	}
 }
@@ -193,13 +193,13 @@ func TestQuickSelectionsCoverEverything(t *testing.T) {
 		for _, h := range cl.Heads {
 			cov := b.Of(h)
 			sel := SelectGateways(cov, nil, nil)
-			for w := range cov.C2 {
-				if !sel.Covered[w] {
+			for _, w := range cov.C2.Members() {
+				if !sel.Covered.Has(w) {
 					return false
 				}
 			}
-			for w := range cov.C3 {
-				if !sel.Covered[w] {
+			for _, w := range cov.C3.Members() {
+				if !sel.Covered.Has(w) {
 					return false
 				}
 			}

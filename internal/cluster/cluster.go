@@ -163,19 +163,26 @@ func Elect(g *graph.Graph, prio Priority) *Clustering {
 	remaining := n
 	rounds := 0
 
+	// Evaluate the priority once per node: the election compares priorities
+	// O(n·deg) times per round, and indirect closure calls in that loop
+	// dominate the cost for simple priorities like lowest-ID.
+	rank := make([]int, n)
+	tie := make([]int, n)
+	for v := 0; v < n; v++ {
+		rank[v], tie[v] = prio(v)
+	}
 	better := func(a, b int) bool {
-		ra, ta := prio(a)
-		rb, tb := prio(b)
-		if ra != rb {
-			return ra < rb
+		if rank[a] != rank[b] {
+			return rank[a] < rank[b]
 		}
-		return ta < tb
+		return tie[a] < tie[b]
 	}
 
+	declared := make([]int, 0, 16)
 	for remaining > 0 {
 		rounds++
 		// Phase 1: simultaneous declarations.
-		var declared []int
+		declared = declared[:0]
 		for v := 0; v < n; v++ {
 			if state[v] != candidate {
 				continue
@@ -220,13 +227,36 @@ func Elect(g *graph.Graph, prio Priority) *Clustering {
 		}
 	}
 
-	c := &Clustering{Head: headOf, Members: make(map[int][]int), Rounds: rounds}
+	// Assemble the membership lists count-then-fill into one backing array
+	// (members come out ascending per cluster, as before, without the
+	// per-cluster append growth).
+	counts := make([]int, n)
+	for _, h := range headOf {
+		counts[h]++
+	}
+	backing := make([]int, n)
+	pos := make([]int, n)
+	s := 0
+	for h := 0; h < n; h++ {
+		if counts[h] > 0 {
+			pos[h] = s
+			s += counts[h]
+		}
+	}
 	for v := 0; v < n; v++ {
 		h := headOf[v]
-		c.Members[h] = append(c.Members[h], v)
-		if h == v {
-			c.Heads = append(c.Heads, v)
+		backing[pos[h]] = v
+		pos[h]++
+	}
+	c := &Clustering{Head: headOf, Members: make(map[int][]int, 16), Rounds: rounds}
+	s = 0
+	for h := 0; h < n; h++ {
+		if counts[h] == 0 {
+			continue
 		}
+		c.Members[h] = backing[s : s+counts[h] : s+counts[h]]
+		s += counts[h]
+		c.Heads = append(c.Heads, h)
 	}
 	return c
 }

@@ -20,6 +20,11 @@
 // bookkeeping the gateway selection needs: which neighbor v of u directly
 // covers which 2-hop clusterheads (w ∈ CH_HOP1(v)) and which (v, r) pair
 // reaches which 3-hop clusterhead (w[r] ∈ CH_HOP2(v)).
+//
+// Membership sets (C², C³) are graph.Bitset values over the node-ID
+// universe: coverage construction and the downstream greedy set-cover are
+// the simulator's hottest kernels, and word-parallel set operations with
+// allocation-free iteration are what keep them fast.
 package coverage
 
 import (
@@ -54,41 +59,87 @@ func (m Mode) String() string {
 	}
 }
 
+// Hop2Entry is one CH_HOP2 report line: clusterhead w reachable through
+// relay r.
+type Hop2Entry struct{ W, R int }
+
+// Connector is the coverage contribution of one neighbor v of the head:
+// the 2-hop clusterheads v is adjacent to (Direct, sorted ascending) and
+// the 3-hop clusterheads v reaches through a relay (Indirect, sorted by
+// clusterhead ID, each with the lowest-ID relay per the "first entry wins"
+// rule of the CH_HOP2 construction).
+type Connector struct {
+	V        int
+	Direct   []int
+	Indirect []Hop2Entry
+}
+
+// Relay returns the relay reaching 3-hop clusterhead w through this
+// connector, if any.
+func (cn *Connector) Relay(w int) (int, bool) {
+	i := sort.Search(len(cn.Indirect), func(i int) bool { return cn.Indirect[i].W >= w })
+	if i < len(cn.Indirect) && cn.Indirect[i].W == w {
+		return cn.Indirect[i].R, true
+	}
+	return 0, false
+}
+
 // Coverage is the coverage set of one clusterhead together with the
 // connector bookkeeping used by gateway selection.
 type Coverage struct {
 	Head int
 	Mode Mode
 
-	// C2 and C3 are the 2-hop and 3-hop components of the coverage set.
-	// They are disjoint: a clusterhead in both is kept only in C2.
-	C2 map[int]bool
-	C3 map[int]bool
+	// C2 and C3 are the 2-hop and 3-hop components of the coverage set, as
+	// bitsets over node IDs. They are disjoint: a clusterhead in both is
+	// kept only in C2.
+	C2 *graph.Bitset
+	C3 *graph.Bitset
 
-	// Direct[v] lists, sorted, the clusterheads of C2 that neighbor v of
-	// the head covers directly (v is adjacent to them).
-	Direct map[int][]int
-
-	// Indirect[v] maps a 3-hop clusterhead w ∈ C3 to the relay r such that
-	// head—v—r—w is a connecting path (r chosen as the lowest-ID relay,
-	// mirroring the "first entry wins" rule of the CH_HOP2 construction).
-	Indirect map[int]map[int]int
+	// Conns lists, ascending by neighbor ID, the neighbors of the head
+	// that contribute coverage, with what each covers. Plain sorted slices
+	// instead of maps: gateway selection scans them in tight loops, and a
+	// slice walk is both faster and deterministic.
+	Conns []Connector
 }
 
-// Set returns C(u) = C² ∪ C³ as a fresh membership map.
-func (c *Coverage) Set() map[int]bool {
-	m := make(map[int]bool, len(c.C2)+len(c.C3))
-	for w := range c.C2 {
-		m[w] = true
+// Connector returns the connector of neighbor v, or nil when v
+// contributes no coverage.
+func (c *Coverage) Connector(v int) *Connector {
+	i := sort.Search(len(c.Conns), func(i int) bool { return c.Conns[i].V >= v })
+	if i < len(c.Conns) && c.Conns[i].V == v {
+		return &c.Conns[i]
 	}
-	for w := range c.C3 {
-		m[w] = true
+	return nil
+}
+
+// DirectOf returns the sorted 2-hop clusterheads neighbor v covers
+// directly (nil when none).
+func (c *Coverage) DirectOf(v int) []int {
+	if cn := c.Connector(v); cn != nil {
+		return cn.Direct
 	}
+	return nil
+}
+
+// RelayFor returns the relay r such that head—v—r—w connects the head to
+// 3-hop clusterhead w, if neighbor v reaches w.
+func (c *Coverage) RelayFor(v, w int) (int, bool) {
+	if cn := c.Connector(v); cn != nil {
+		return cn.Relay(w)
+	}
+	return 0, false
+}
+
+// Set returns C(u) = C² ∪ C³ as a fresh bitset.
+func (c *Coverage) Set() *graph.Bitset {
+	m := c.C2.Clone()
+	m.Or(c.C3)
 	return m
 }
 
 // Size returns |C(u)|.
-func (c *Coverage) Size() int { return len(c.C2) + len(c.C3) }
+func (c *Coverage) Size() int { return c.C2.Count() + c.C3.Count() }
 
 // Builder precomputes, for a clustered network, the per-node neighborhood
 // digests (the contents of the CH_HOP1 and CH_HOP2 messages) and serves
@@ -100,36 +151,60 @@ type Builder struct {
 
 	// ch1[v]: sorted clusterheads adjacent to v (the CH_HOP1 content for
 	// non-clusterhead v; also defined for clusterheads, where it is empty
-	// by the independent-set property).
+	// by the independent-set property). All slices share one backing array.
 	ch1 [][]int
-	// ch2[v]: for non-clusterhead v, the 2-hop clusterhead entries
-	// (w -> lowest-ID relay r with v—r—w per the mode's rule and w not
-	// adjacent to v).
-	ch2 []map[int]int
+	// ch2[v]: for non-clusterhead v, the 2-hop clusterhead entries, sorted
+	// by clusterhead ID (w -> lowest-ID relay r with v—r—w per the mode's
+	// rule and w not adjacent to v).
+	ch2 [][]Hop2Entry
 }
 
 // NewBuilder digests the clustered network once. The clustering must be
 // valid for g.
 func NewBuilder(g *graph.Graph, cl *cluster.Clustering, mode Mode) *Builder {
 	n := g.N()
-	b := &Builder{g: g, cl: cl, mode: mode, ch1: make([][]int, n), ch2: make([]map[int]int, n)}
+	b := &Builder{g: g, cl: cl, mode: mode, ch1: make([][]int, n), ch2: make([][]Hop2Entry, n)}
+
+	// CH_HOP1 digests: count, then fill a single backing array. Adjacency
+	// lists are sorted, so each ch1[v] comes out sorted for free.
+	counts := make([]int, n)
+	total := 0
 	for v := 0; v < n; v++ {
 		for _, u := range g.Neighbors(v) {
 			if cl.IsHead(u) {
-				b.ch1[v] = append(b.ch1[v], u)
+				counts[v]++
+				total++
 			}
 		}
-		sort.Ints(b.ch1[v])
 	}
+	backing := make([]int, 0, total)
+	for v := 0; v < n; v++ {
+		start := len(backing)
+		for _, u := range g.Neighbors(v) {
+			if cl.IsHead(u) {
+				backing = append(backing, u)
+			}
+		}
+		b.ch1[v] = backing[start:len(backing):len(backing)]
+	}
+
+	// CH_HOP2 digests: collect candidate (w, r) entries into a reusable
+	// scratch, sort by (w, r) and keep the lowest-ID relay per w. The
+	// deduplicated entries are packed into one growing backing array —
+	// earlier slices stay valid across reallocation, and the per-node
+	// allocation disappears from this hot constructor.
+	adjacent := graph.NewBitset(n) // clusterheads adjacent to v
+	scratch := make([]Hop2Entry, 0, 64)
+	ch2backing := make([]Hop2Entry, 0, n)
 	for v := 0; v < n; v++ {
 		if cl.IsHead(v) {
 			continue
 		}
-		entries := make(map[int]int)
-		adjacent := make(map[int]bool, len(b.ch1[v]))
+		adjacent.Clear()
 		for _, w := range b.ch1[v] {
-			adjacent[w] = true
+			adjacent.Add(w)
 		}
+		scratch = scratch[:0]
 		for _, r := range g.Neighbors(v) {
 			if cl.IsHead(r) {
 				continue // CH_HOP1 messages come from non-clusterheads only
@@ -137,27 +212,52 @@ func NewBuilder(g *graph.Graph, cl *cluster.Clustering, mode Mode) *Builder {
 			switch mode {
 			case Hop25:
 				// Only r's own clusterhead generates an entry.
-				w := cl.Head[r]
-				if !adjacent[w] {
-					if prev, ok := entries[w]; !ok || r < prev {
-						entries[w] = r
-					}
+				if w := cl.Head[r]; !adjacent.Has(w) {
+					scratch = append(scratch, Hop2Entry{W: w, R: r})
 				}
 			case Hop3:
 				// Every clusterhead r hears directly generates an entry.
 				for _, w := range b.ch1[r] {
-					if !adjacent[w] {
-						if prev, ok := entries[w]; !ok || r < prev {
-							entries[w] = r
-						}
+					if !adjacent.Has(w) {
+						scratch = append(scratch, Hop2Entry{W: w, R: r})
 					}
 				}
 			}
 		}
-		b.ch2[v] = entries
+		if len(scratch) == 0 {
+			continue
+		}
+		sortEntries(scratch)
+		start := len(ch2backing)
+		for _, e := range scratch {
+			if len(ch2backing) > start && ch2backing[len(ch2backing)-1].W == e.W {
+				continue // keep the lowest-ID relay ("first entry wins")
+			}
+			ch2backing = append(ch2backing, e)
+		}
+		b.ch2[v] = ch2backing[start:len(ch2backing):len(ch2backing)]
 	}
 	return b
 }
+
+// sortEntries orders CH_HOP2 entries by (W, R). The lists are tiny (one
+// entry per 2-hop clusterhead sighting), so a straight insertion sort beats
+// the generic sort machinery in the builder's hot loop.
+func sortEntries(es []Hop2Entry) {
+	for i := 1; i < len(es); i++ {
+		e := es[i]
+		j := i - 1
+		for j >= 0 && (es[j].W > e.W || (es[j].W == e.W && es[j].R > e.R)) {
+			es[j+1] = es[j]
+			j--
+		}
+		es[j+1] = e
+	}
+}
+
+// N returns the number of nodes of the underlying graph (the bitset
+// universe of every coverage set the builder serves).
+func (b *Builder) N() int { return b.g.N() }
 
 // Mode returns the coverage-area variant of the builder.
 func (b *Builder) Mode() Mode { return b.mode }
@@ -166,9 +266,20 @@ func (b *Builder) Mode() Mode { return b.mode }
 // The returned slice is owned by the builder.
 func (b *Builder) CH1(v int) []int { return b.ch1[v] }
 
-// CH2 returns v's 2-hop clusterhead entries (CH_HOP2 content): clusterhead
-// w ↦ relay r. The returned map is owned by the builder.
-func (b *Builder) CH2(v int) map[int]int { return b.ch2[v] }
+// CH2Entries returns v's 2-hop clusterhead entries (CH_HOP2 content),
+// sorted by clusterhead ID. The returned slice is owned by the builder.
+func (b *Builder) CH2Entries(v int) []Hop2Entry { return b.ch2[v] }
+
+// CH2 returns v's CH_HOP2 content as a clusterhead ↦ relay map. It
+// materializes a fresh map per call and exists for reporting and tests;
+// hot paths use CH2Entries.
+func (b *Builder) CH2(v int) map[int]int {
+	m := make(map[int]int, len(b.ch2[v]))
+	for _, e := range b.ch2[v] {
+		m[e.W] = e.R
+	}
+	return m
+}
 
 // Of computes the coverage set of clusterhead u. It panics when u is not a
 // clusterhead of the clustering.
@@ -176,41 +287,47 @@ func (b *Builder) Of(u int) *Coverage {
 	if !b.cl.IsHead(u) {
 		panic("coverage: Of called on a non-clusterhead")
 	}
+	n := b.g.N()
 	c := &Coverage{
 		Head: u, Mode: b.mode,
-		C2: make(map[int]bool), C3: make(map[int]bool),
-		Direct: make(map[int][]int), Indirect: make(map[int]map[int]int),
+		C2: graph.NewBitset(n), C3: graph.NewBitset(n),
 	}
-	// C², Direct: from neighbors' CH_HOP1.
-	for _, v := range b.g.Neighbors(u) {
-		var direct []int
+	nbrs := b.g.Neighbors(u)
+	// C² first (from neighbors' CH_HOP1), because the C³ pass must filter
+	// against the complete C². Per-neighbor lists are packed into shared
+	// backing arrays addressed by offsets — no per-neighbor allocations.
+	dirOff := make([]int, len(nbrs)+1)
+	direct := make([]int, 0, 16)
+	for i, v := range nbrs {
 		for _, w := range b.ch1[v] {
 			if w == u {
 				continue
 			}
-			c.C2[w] = true
+			c.C2.Add(w)
 			direct = append(direct, w)
 		}
-		if len(direct) > 0 {
-			c.Direct[v] = direct
-		}
+		dirOff[i+1] = len(direct)
 	}
-	// C³, Indirect: from neighbors' CH_HOP2, removing C² duplicates.
-	for _, v := range b.g.Neighbors(u) {
-		var ind map[int]int
-		for w, r := range b.ch2[v] {
-			if w == u || c.C2[w] {
+	// C³: from neighbors' CH_HOP2, removing C² duplicates.
+	indOff := make([]int, len(nbrs)+1)
+	indirect := make([]Hop2Entry, 0, 16)
+	for i, v := range nbrs {
+		for _, e := range b.ch2[v] {
+			if e.W == u || c.C2.Has(e.W) {
 				continue
 			}
-			c.C3[w] = true
-			if ind == nil {
-				ind = make(map[int]int)
-			}
-			ind[w] = r
+			c.C3.Add(e.W)
+			indirect = append(indirect, e)
 		}
-		if ind != nil {
-			c.Indirect[v] = ind
+		indOff[i+1] = len(indirect)
+	}
+	for i, v := range nbrs {
+		d := direct[dirOff[i]:dirOff[i+1]:dirOff[i+1]]
+		in := indirect[indOff[i]:indOff[i+1]:indOff[i+1]]
+		if len(d) == 0 && len(in) == 0 {
+			continue
 		}
+		c.Conns = append(c.Conns, Connector{V: v, Direct: d, Indirect: in})
 	}
 	return c
 }
@@ -237,12 +354,8 @@ func ClusterGraph(b *Builder) (*graph.Digraph, map[int]int) {
 	d := graph.NewDigraph(len(heads))
 	for _, h := range heads {
 		cov := b.Of(h)
-		for w := range cov.C2 {
-			d.AddEdge(index[h], index[w])
-		}
-		for w := range cov.C3 {
-			d.AddEdge(index[h], index[w])
-		}
+		cov.C2.ForEach(func(w int) { d.AddEdge(index[h], index[w]) })
+		cov.C3.ForEach(func(w int) { d.AddEdge(index[h], index[w]) })
 	}
 	return d, index
 }

@@ -36,10 +36,10 @@ func paperSetup(t *testing.T, mode Mode) (*graph.Graph, *cluster.Clustering, *Bu
 	return g, cl, NewBuilder(g, cl, mode)
 }
 
-// keys returns the sorted keys of a membership map (nil when empty, for
-// easy reflect.DeepEqual comparisons).
-func keys(m map[int]bool) []int {
-	out := graph.SortedMembers(m)
+// keys returns the sorted members of a bitset (nil when empty, for easy
+// reflect.DeepEqual comparisons).
+func keys(b *graph.Bitset) []int {
+	out := b.Members()
 	if len(out) == 0 {
 		return nil
 	}
@@ -130,12 +130,12 @@ func TestPaperIndirectConnectors(t *testing.T) {
 	_, _, b := paperSetup(t, Hop25)
 	// C³(4) = {1} reached via pair (9, 5): head 4 — 9 — 5 — 1.
 	cov := b.Of(3)
-	ind, ok := cov.Indirect[8]
-	if !ok {
-		t.Fatalf("head 4 should have indirect coverage via node 9; got %v", cov.Indirect)
+	cn := cov.Connector(8)
+	if cn == nil || len(cn.Indirect) == 0 {
+		t.Fatalf("head 4 should have indirect coverage via node 9; got %v", cov.Conns)
 	}
-	if r, ok := ind[0]; !ok || r != 4 {
-		t.Fatalf("head 4 should reach clusterhead 1 via relay 5 (0-based 4), got %v", ind)
+	if r, ok := cov.RelayFor(8, 0); !ok || r != 4 {
+		t.Fatalf("head 4 should reach clusterhead 1 via relay 5 (0-based 4), got %v", cn.Indirect)
 	}
 }
 
@@ -143,13 +143,13 @@ func TestPaperDirectConnectors(t *testing.T) {
 	_, _, b := paperSetup(t, Hop25)
 	cov := b.Of(0) // paper clusterhead 1
 	// Neighbor 6 covers {2}, neighbor 7 covers {3}, neighbor 5 covers none.
-	if got := cov.Direct[5]; !reflect.DeepEqual(got, []int{1}) {
+	if got := cov.DirectOf(5); !reflect.DeepEqual(got, []int{1}) {
 		t.Errorf("Direct via node 6 = %v, want {2} (0-based {1})", got)
 	}
-	if got := cov.Direct[6]; !reflect.DeepEqual(got, []int{2}) {
+	if got := cov.DirectOf(6); !reflect.DeepEqual(got, []int{2}) {
 		t.Errorf("Direct via node 7 = %v, want {3} (0-based {2})", got)
 	}
-	if _, ok := cov.Direct[4]; ok {
+	if got := cov.DirectOf(4); len(got) != 0 {
 		t.Errorf("node 5 directly covers no 2-hop clusterhead of head 1")
 	}
 }
@@ -246,18 +246,18 @@ func TestQuickCoverageDistances(t *testing.T) {
 				if w == h {
 					continue
 				}
-				if cov.C2[w] != (dist[w] == 2) {
+				if cov.C2.Has(w) != (dist[w] == 2) {
 					return false
 				}
 			}
-			for w := range cov.C3 {
+			for _, w := range cov.C3.Members() {
 				if dist[w] != 3 || !cl.IsHead(w) {
 					return false
 				}
 			}
 			if mode == Hop3 {
 				for _, w := range cl.Heads {
-					if dist[w] == 3 && !cov.C3[w] {
+					if dist[w] == 3 && !cov.C3.Has(w) {
 						return false
 					}
 				}
@@ -279,7 +279,7 @@ func TestQuickCoverageDistances(t *testing.T) {
 							break
 						}
 					}
-					if cov.C3[w] != hasMember {
+					if cov.C3.Has(w) != hasMember {
 						return false
 					}
 				}
@@ -310,25 +310,20 @@ func TestQuickConnectorsAreSound(t *testing.T) {
 		b := NewBuilder(g, cl, mode)
 		for _, h := range cl.Heads {
 			cov := b.Of(h)
-			for v, ws := range cov.Direct {
-				if !g.HasEdge(h, v) {
+			for _, cn := range cov.Conns {
+				if !g.HasEdge(h, cn.V) {
 					return false
 				}
-				for _, w := range ws {
-					if !g.HasEdge(v, w) || !cov.C2[w] {
+				for _, w := range cn.Direct {
+					if !g.HasEdge(cn.V, w) || !cov.C2.Has(w) {
 						return false
 					}
 				}
-			}
-			for v, pairs := range cov.Indirect {
-				if !g.HasEdge(h, v) {
-					return false
-				}
-				for w, r := range pairs {
-					if !g.HasEdge(v, r) || !g.HasEdge(r, w) || !cov.C3[w] {
+				for _, e := range cn.Indirect {
+					if !g.HasEdge(cn.V, e.R) || !g.HasEdge(e.R, e.W) || !cov.C3.Has(e.W) {
 						return false
 					}
-					if mode == Hop25 && cl.Head[r] != w {
+					if mode == Hop25 && cl.Head[e.R] != e.W {
 						return false
 					}
 				}
@@ -384,8 +379,8 @@ func TestQuickModeContainment(t *testing.T) {
 			if !reflect.DeepEqual(keys(c25.C2), keys(c3.C2)) {
 				return false
 			}
-			for w := range c25.C3 {
-				if !c3.C3[w] {
+			for _, w := range c25.C3.Members() {
+				if !c3.C3.Has(w) {
 					return false
 				}
 			}

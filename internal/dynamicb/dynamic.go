@@ -39,9 +39,9 @@ type packet struct {
 	fromCH int
 	// cov holds C(u) ∪ {u} of that clusterhead: every clusterhead known to
 	// be covered by its transmission.
-	cov map[int]bool
+	cov *graph.Bitset
 	// forward is F(u): the non-clusterhead nodes asked to relay.
-	forward map[int]bool
+	forward *graph.Bitset
 }
 
 // Protocol is the broadcast.Protocol implementation of the dynamic
@@ -96,30 +96,30 @@ func (p *Protocol) headPacket(v int, in *packet, x int) *packet {
 	// upstream transmission already covers.
 	need := cov.Set()
 	if in != nil {
-		for w := range in.cov {
-			delete(need, w)
+		if in.cov != nil {
+			need.AndNot(in.cov)
 		}
 		if in.fromCH >= 0 {
-			delete(need, in.fromCH)
+			need.Remove(in.fromCH)
 		}
 	}
 	if x >= 0 {
 		// Clusterheads adjacent to the immediate transmitter heard the
 		// same transmission v heard (the paper's N(r) exclusion).
 		for _, w := range p.b.CH1(x) {
-			delete(need, w)
+			need.Remove(w)
 		}
 	}
 	sel := backbone.SelectGateways(cov, need, need)
-	fwd := make(map[int]bool, len(sel.Gateways))
+	fwd := graph.NewBitset(p.g.N())
 	for _, gw := range sel.Gateways {
-		fwd[gw] = true
+		fwd.Add(gw)
 	}
 	// Piggyback the FULL coverage set (paper: "F(3)={9} and C(3)={1,2,4}
 	// are piggybacked"): everything in C(v) either receives via F(v) or
 	// was excluded precisely because it already received.
 	full := cov.Set()
-	full[v] = true
+	full.Add(v)
 	return &packet{fromCH: v, cov: full, forward: fwd}
 }
 
@@ -133,7 +133,7 @@ func (p *Protocol) OnReceive(v, x int, pkt broadcast.Packet) (bool, broadcast.Pa
 	// Rule 3: a non-clusterhead relays iff designated. A fresh packet from
 	// a non-clusterhead source implicitly designates the source's
 	// clusterhead only, which is handled above; other members stay quiet.
-	if in != nil && in.forward[v] {
+	if in != nil && in.forward != nil && in.forward.Has(v) {
 		return true, in
 	}
 	return false, nil
@@ -147,7 +147,7 @@ func (p *Protocol) OnDuplicate(v, x int, pkt broadcast.Packet) (bool, broadcast.
 		return false, nil // clusterheads act on first reception only
 	}
 	in, _ := pkt.(*packet)
-	if in != nil && in.forward[v] {
+	if in != nil && in.forward != nil && in.forward.Has(v) {
 		return true, in
 	}
 	return false, nil

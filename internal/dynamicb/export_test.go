@@ -1,16 +1,28 @@
 package dynamicb
 
-import "clustercast/internal/broadcast"
+import (
+	"clustercast/internal/broadcast"
+	"clustercast/internal/graph"
+)
 
 // HeadPacketForTest exposes the clusterhead selection step for white-box
 // tests of the pruning rules.
 func (p *Protocol) HeadPacketForTest(v int, in broadcast.Packet, x int) (forward map[int]bool, piggyCov map[int]bool) {
 	pkt, _ := in.(*packet)
 	out := p.headPacket(v, pkt, x)
-	return out.forward, out.cov
+	return out.forward.ToSet(), out.cov.ToSet()
 }
 
-// PacketForTest builds an incoming packet for white-box tests.
-func PacketForTest(fromCH int, cov map[int]bool, forward map[int]bool) broadcast.Packet {
-	return &packet{fromCH: fromCH, cov: cov, forward: forward}
+// PacketForTest builds an incoming packet for white-box tests. Sets are
+// membership maps over the protocol's node universe.
+func (p *Protocol) PacketForTest(fromCH int, cov map[int]bool, forward map[int]bool) broadcast.Packet {
+	n := p.g.N()
+	pk := &packet{fromCH: fromCH}
+	if cov != nil {
+		pk.cov = graph.BitsetFromSet(n, cov)
+	}
+	if forward != nil {
+		pk.forward = graph.BitsetFromSet(n, forward)
+	}
+	return pk
 }

@@ -19,7 +19,7 @@ func TestPiggybackIsFullCoverageSet(t *testing.T) {
 	p := New(g, cl, coverage.Hop25)
 	// Clusterhead 3 (0-based 2) receives from clusterhead 1 (0-based 0)
 	// via node 7 (0-based 6), with C(1)∪{1} = {0,1,2} piggybacked.
-	in := PacketForTest(0, graph.SetOf(0, 1, 2), graph.SetOf(5, 6))
+	in := p.PacketForTest(0, graph.SetOf(0, 1, 2), graph.SetOf(5, 6))
 	fwd, cov := p.HeadPacketForTest(2, in, 6)
 	// The updated need is only {3} (paper head 4): forward set = {8}.
 	if len(fwd) != 1 || !fwd[8] {
@@ -60,7 +60,7 @@ func TestRelayNeighborExclusion(t *testing.T) {
 	// v=1 receives the packet from transmitter r=4. Regardless of what the
 	// upstream head piggybacked, the N(r) rule alone must remove w=2 from
 	// v's need: 2 is adjacent to the transmitter 4 and heard the same copy.
-	in := PacketForTest(0, graph.SetOf(0), nil) // minimal piggyback: {u} only
+	in := p.PacketForTest(0, graph.SetOf(0), nil) // minimal piggyback: {u} only
 	fwd, _ := p.HeadPacketForTest(1, in, 4)
 	// Without the N(r) exclusion, v=1 would select node 5 to reach w=2.
 	if fwd[5] {

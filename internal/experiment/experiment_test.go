@@ -231,23 +231,24 @@ func TestMobilitySmall(t *testing.T) {
 
 func TestParallelDeterminism(t *testing.T) {
 	// The same figure computed serially and with the worker pool must be
-	// bit-identical: all randomness derives from (seed, n, rep).
-	old := Parallelism
-	defer func() { Parallelism = old }()
-	Parallelism = 1
+	// bit-identical: all randomness derives from (seed, n, rep), and the
+	// batched replication folds observations in replicate order.
+	defer SetParallelism(0)
+	SetParallelism(1)
 	serial := Fig6(6, smallNs(), 17, fastRule()).CSV()
-	Parallelism = 8
-	parallel := Fig6(6, smallNs(), 17, fastRule()).CSV()
-	if serial != parallel {
-		t.Fatalf("parallel execution changed results:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	for _, workers := range []int{2, 8} {
+		SetParallelism(workers)
+		parallel := Fig6(6, smallNs(), 17, fastRule()).CSV()
+		if serial != parallel {
+			t.Fatalf("workers=%d changed results:\nserial:\n%s\nparallel:\n%s", workers, serial, parallel)
+		}
 	}
 }
 
 func TestForEachPointCoversAll(t *testing.T) {
-	old := Parallelism
-	defer func() { Parallelism = old }()
+	defer SetParallelism(0)
 	for _, workers := range []int{0, 1, 3, 16} {
-		Parallelism = workers
+		SetParallelism(workers)
 		hits := make([]int, 20)
 		ForEachPoint(len(hits), func(i int) { hits[i]++ })
 		for i, h := range hits {

@@ -97,13 +97,13 @@ func Build(b *coverage.Builder, cl *cluster.Clustering, source int) (*Tree, erro
 			// 2-hop clusterheads first (shorter attachment), each via its
 			// lowest-ID direct gateway.
 			gate2 := make(map[int]int)
-			for gw, ws := range cov.Direct {
-				for _, w := range ws {
+			for _, cn := range cov.Conns {
+				for _, w := range cn.Direct {
 					if joined[w] {
 						continue
 					}
-					if prev, ok := gate2[w]; !ok || gw < prev {
-						gate2[w] = gw
+					if prev, ok := gate2[w]; !ok || cn.V < prev {
+						gate2[w] = cn.V
 					}
 				}
 			}
@@ -120,14 +120,14 @@ func Build(b *coverage.Builder, cl *cluster.Clustering, source int) (*Tree, erro
 			}
 			// Remaining 3-hop clusterheads via gateway pairs.
 			gate3 := make(map[int]pair)
-			for f, entries := range cov.Indirect {
-				for w, r := range entries {
-					if joined[w] {
+			for _, cn := range cov.Conns {
+				for _, e := range cn.Indirect {
+					if joined[e.W] {
 						continue
 					}
-					p, ok := gate3[w]
-					if !ok || f < p.f || (f == p.f && r < p.r) {
-						gate3[w] = pair{f, r}
+					p, ok := gate3[e.W]
+					if !ok || cn.V < p.f || (cn.V == p.f && e.R < p.r) {
+						gate3[e.W] = pair{cn.V, e.R}
 					}
 				}
 			}

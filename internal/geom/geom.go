@@ -93,8 +93,8 @@ type Grid struct {
 	cell   float64
 	cols   int
 	rows   int
-	cells  map[int][]int // cell index -> ids stored there
-	points []Point       // id -> position (ids are dense, assigned by Insert order)
+	cells  [][]int // flattened cell index -> ids stored there
+	points []Point // id -> position (ids are dense, assigned by Insert order)
 }
 
 // NewGrid builds an empty grid over bounds with the given cell size. The
@@ -111,12 +111,15 @@ func NewGrid(bounds Rect, cellSize float64) *Grid {
 	if rows < 1 {
 		rows = 1
 	}
+	// Cell buckets live in a dense slice: with cell = radio range the cell
+	// count is O(area/r²) = O(n·π/d), so the direct index is both smaller
+	// and far cheaper than a hash map in the insert/query hot loops.
 	return &Grid{
 		bounds: bounds,
 		cell:   cellSize,
 		cols:   cols,
 		rows:   rows,
-		cells:  make(map[int][]int),
+		cells:  make([][]int, cols*rows),
 	}
 }
 
@@ -165,8 +168,22 @@ func (g *Grid) Within(id int, radius float64, dst []int) []int {
 	}
 	p := g.points[id]
 	r2 := radius * radius
+	// Clamp exactly like cellIndex so queries from points on or outside the
+	// boundary scan the same edge cells those points were stored in.
 	cx := int((p.X - g.bounds.MinX) / g.cell)
 	cy := int((p.Y - g.bounds.MinY) / g.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.rows {
+		cy = g.rows - 1
+	}
 	for dy := -1; dy <= 1; dy++ {
 		for dx := -1; dx <= 1; dx++ {
 			x, y := cx+dx, cy+dy
@@ -184,6 +201,50 @@ func (g *Grid) Within(id int, radius float64, dst []int) []int {
 		}
 	}
 	return dst
+}
+
+// Pairs calls fn(u, v) exactly once for every unordered pair of distinct
+// stored points within radius of each other. It sweeps cell pairs over the
+// half neighborhood (E, SW, S, SE), so each candidate pair is distance-
+// tested once — half the work of querying Within for every point. Like
+// Within, radius must not exceed the grid cell size.
+func (g *Grid) Pairs(radius float64, fn func(u, v int)) {
+	if radius > g.cell+1e-9 {
+		panic("geom: query radius exceeds grid cell size")
+	}
+	r2 := radius * radius
+	half := [4][2]int{{1, 0}, {-1, 1}, {0, 1}, {1, 1}}
+	for cy := 0; cy < g.rows; cy++ {
+		for cx := 0; cx < g.cols; cx++ {
+			a := g.cells[cy*g.cols+cx]
+			if len(a) == 0 {
+				continue
+			}
+			for i := 0; i < len(a); i++ {
+				pi := g.points[a[i]]
+				for j := i + 1; j < len(a); j++ {
+					if pi.Dist2(g.points[a[j]]) <= r2 {
+						fn(a[i], a[j])
+					}
+				}
+			}
+			for _, d := range half {
+				x, y := cx+d[0], cy+d[1]
+				if x < 0 || x >= g.cols || y >= g.rows {
+					continue
+				}
+				b := g.cells[y*g.cols+x]
+				for _, u := range a {
+					pu := g.points[u]
+					for _, v := range b {
+						if pu.Dist2(g.points[v]) <= r2 {
+							fn(u, v)
+						}
+					}
+				}
+			}
+		}
+	}
 }
 
 // Move updates the position of id, rebucketing it if it crossed a cell

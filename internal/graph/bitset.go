@@ -1,0 +1,201 @@
+package graph
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of small non-negative integers (node IDs)
+// backed by a []uint64. It is the dense-ID replacement for map[int]bool in
+// the simulator's hot paths: membership, union, difference and popcount all
+// run word-at-a-time, and iteration visits members in ascending order with
+// no sorting or hashing.
+//
+// All binary operations require operands created with the same capacity.
+// The zero value is an empty set of capacity 0; use NewBitset.
+type Bitset struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// NewBitset returns an empty set over the universe 0..n−1.
+func NewBitset(n int) *Bitset {
+	if n < 0 {
+		panic("graph: negative bitset capacity")
+	}
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// BitsetOf returns a set over 0..n−1 holding the given ids.
+func BitsetOf(n int, ids ...int) *Bitset {
+	b := NewBitset(n)
+	for _, id := range ids {
+		b.Add(id)
+	}
+	return b
+}
+
+// BitsetFromSet converts a membership map over 0..n−1.
+func BitsetFromSet(n int, set map[int]bool) *Bitset {
+	b := NewBitset(n)
+	for v, in := range set {
+		if in {
+			b.Add(v)
+		}
+	}
+	return b
+}
+
+// Cap returns the capacity of the universe (n in NewBitset).
+func (b *Bitset) Cap() int { return b.n }
+
+// Add inserts i into the set.
+func (b *Bitset) Add(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Remove deletes i from the set.
+func (b *Bitset) Remove(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Has reports whether i is a member. Out-of-range ids are never members.
+func (b *Bitset) Has(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of members.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether the set is non-empty.
+func (b *Bitset) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Min returns the smallest member, or −1 when the set is empty. It is the
+// deterministic "lowest ID first" iteration anchor of the greedy selection.
+func (b *Bitset) Min() int {
+	for i, w := range b.words {
+		if w != 0 {
+			return i<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Clear empties the set in place.
+func (b *Bitset) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// CopyFrom overwrites b with the contents of o (same capacity required).
+func (b *Bitset) CopyFrom(o *Bitset) {
+	b.check(o)
+	copy(b.words, o.words)
+}
+
+// Clone returns an independent copy of b.
+func (b *Bitset) Clone() *Bitset {
+	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// Or adds every member of o to b (set union, in place).
+func (b *Bitset) Or(o *Bitset) {
+	b.check(o)
+	for i, w := range o.words {
+		b.words[i] |= w
+	}
+}
+
+// And keeps only members shared with o (set intersection, in place).
+func (b *Bitset) And(o *Bitset) {
+	b.check(o)
+	for i, w := range o.words {
+		b.words[i] &= w
+	}
+}
+
+// AndNot removes every member of o from b (set difference, in place).
+func (b *Bitset) AndNot(o *Bitset) {
+	b.check(o)
+	for i, w := range o.words {
+		b.words[i] &^= w
+	}
+}
+
+// Intersects reports whether b and o share a member.
+func (b *Bitset) Intersects(o *Bitset) bool {
+	b.check(o)
+	for i, w := range o.words {
+		if b.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether b and o hold exactly the same members.
+func (b *Bitset) Equal(o *Bitset) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i, w := range o.words {
+		if b.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every member in ascending order.
+func (b *Bitset) ForEach(fn func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			fn(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// Members returns the members in ascending order as a fresh slice.
+func (b *Bitset) Members() []int {
+	return b.AppendMembers(make([]int, 0, b.Count()))
+}
+
+// AppendMembers appends the members in ascending order to dst and returns
+// the extended slice (zero allocations when dst has capacity).
+func (b *Bitset) AppendMembers(dst []int) []int {
+	for wi, w := range b.words {
+		for w != 0 {
+			dst = append(dst, wi<<6+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// ToSet converts to a membership map (for the map-based reporting APIs).
+func (b *Bitset) ToSet() map[int]bool {
+	m := make(map[int]bool, b.Count())
+	b.ForEach(func(i int) { m[i] = true })
+	return m
+}
+
+// check panics on capacity mismatch: silently operating on differently
+// sized universes is always a caller bug.
+func (b *Bitset) check(o *Bitset) {
+	if b.n != o.n {
+		panic("graph: bitset capacity mismatch")
+	}
+}

@@ -169,18 +169,14 @@ func (g *Graph) KHop(v, k int) []int {
 }
 
 // Connected reports whether g is connected. The empty graph and the
-// single-node graph are connected.
+// single-node graph are connected. It borrows a pooled traversal scratch,
+// so the rejection-sampling loop of topology generation allocates nothing
+// here.
 func (g *Graph) Connected() bool {
-	if len(g.adj) <= 1 {
-		return true
-	}
-	dist := g.BFS(0)
-	for _, d := range dist {
-		if d == -1 {
-			return false
-		}
-	}
-	return true
+	s := getScratch()
+	ok := g.ConnectedWith(s)
+	putScratch(s)
+	return ok
 }
 
 // Components returns the connected components of g, each as a sorted slice
@@ -216,44 +212,27 @@ func (g *Graph) Components() [][]int {
 // set is connected (a set of size 0 or 1 counts as connected). It is the
 // connectivity half of the CDS predicate.
 func (g *Graph) InducedSubgraphConnected(set map[int]bool) bool {
-	var start = -1
-	count := 0
-	for v, in := range set {
-		if in {
-			count++
-			start = v
-		}
-	}
-	if count <= 1 {
-		return true
-	}
-	seen := map[int]bool{start: true}
-	queue := []int{start}
-	visited := 1
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range g.adj[u] {
-			if set[v] && !seen[v] {
-				seen[v] = true
-				visited++
-				queue = append(queue, v)
-			}
-		}
-	}
-	return visited == count
+	s := getScratch()
+	ok := g.InducedConnected(s, BitsetFromSet(len(g.adj), set))
+	putScratch(s)
+	return ok
 }
 
 // IsDominatingSet reports whether every node is in the set or adjacent to a
 // member of the set.
 func (g *Graph) IsDominatingSet(set map[int]bool) bool {
+	return g.IsDominatingSetBits(BitsetFromSet(len(g.adj), set))
+}
+
+// IsDominatingSetBits is IsDominatingSet over a Bitset membership.
+func (g *Graph) IsDominatingSetBits(set *Bitset) bool {
 	for u := range g.adj {
-		if set[u] {
+		if set.Has(u) {
 			continue
 		}
 		dominated := false
 		for _, v := range g.adj[u] {
-			if set[v] {
+			if set.Has(v) {
 				dominated = true
 				break
 			}
@@ -267,23 +246,38 @@ func (g *Graph) IsDominatingSet(set map[int]bool) bool {
 
 // IsCDS reports whether the set is a connected dominating set of g.
 func (g *Graph) IsCDS(set map[int]bool) bool {
-	return g.IsDominatingSet(set) && g.InducedSubgraphConnected(set)
+	return g.IsCDSBits(BitsetFromSet(len(g.adj), set))
+}
+
+// IsCDSBits is IsCDS over a Bitset membership.
+func (g *Graph) IsCDSBits(set *Bitset) bool {
+	if !g.IsDominatingSetBits(set) {
+		return false
+	}
+	s := getScratch()
+	ok := g.InducedConnected(s, set)
+	putScratch(s)
+	return ok
 }
 
 // IsIndependentSet reports whether no two members of the set are adjacent.
 // The clusterhead set of a valid clustering must satisfy this.
 func (g *Graph) IsIndependentSet(set map[int]bool) bool {
-	for u := range set {
-		if !set[u] {
-			continue
-		}
+	return g.IsIndependentSetBits(BitsetFromSet(len(g.adj), set))
+}
+
+// IsIndependentSetBits is IsIndependentSet over a Bitset membership.
+func (g *Graph) IsIndependentSetBits(set *Bitset) bool {
+	ok := true
+	set.ForEach(func(u int) {
 		for _, v := range g.adj[u] {
-			if set[v] {
-				return false
+			if set.Has(v) {
+				ok = false
+				return
 			}
 		}
-	}
-	return true
+	})
+	return ok
 }
 
 // Eccentricity returns the greatest hop distance from v to any reachable
@@ -373,14 +367,113 @@ func (g *Graph) DOT(name string, highlight map[int]bool) string {
 	return b.String()
 }
 
-// FromEdges builds a graph with n nodes and the given edge list. It is the
-// convenient constructor used throughout the tests.
+// FromEdges builds a graph with n nodes and the given edge list in one
+// batch: degrees are counted first, adjacency arrays are filled, and each
+// list is sorted once — O(m·log(deg)) total instead of the O(m·deg)
+// memmove cost of repeated sorted insertion. Self-loops and duplicate
+// edges panic, as with AddEdge.
 func FromEdges(n int, edges [][2]int) *Graph {
 	g := New(n)
+	deg := make([]int, n)
 	for _, e := range edges {
-		g.AddEdge(e[0], e[1])
+		u, v := e[0], e[1]
+		if u == v {
+			panic(fmt.Sprintf("graph: self-loop at %d", u))
+		}
+		deg[u]++
+		deg[v]++
 	}
+	// One backing array for all adjacency lists keeps the graph compact and
+	// the build allocation count flat in n.
+	backing := make([]int, 2*len(edges))
+	offset := 0
+	for u, d := range deg {
+		g.adj[u] = backing[offset : offset : offset+d]
+		offset += d
+	}
+	for _, e := range edges {
+		g.adj[e[0]] = append(g.adj[e[0]], e[1])
+		g.adj[e[1]] = append(g.adj[e[1]], e[0])
+	}
+	for u := range g.adj {
+		sort.Ints(g.adj[u])
+		for i := 1; i < len(g.adj[u]); i++ {
+			if g.adj[u][i] == g.adj[u][i-1] {
+				panic(fmt.Sprintf("graph: duplicate edge {%d,%d}", u, g.adj[u][i]))
+			}
+		}
+	}
+	g.edges = len(edges)
 	return g
+}
+
+// FromAdjacency builds a graph directly from per-node neighbor lists,
+// taking ownership of adj and its backing arrays. Each list is sorted in
+// place; self-loops and duplicate neighbors panic. The lists must already
+// be symmetric (v ∈ adj[u] ⇔ u ∈ adj[v]) — callers like the unit-disk
+// builder produce them from a symmetric distance predicate, and the edge
+// count is derived from the degree sum.
+func FromAdjacency(n int, adj [][]int) *Graph {
+	if len(adj) != n {
+		panic(fmt.Sprintf("graph: adjacency for %d nodes, want %d", len(adj), n))
+	}
+	g := New(n)
+	degSum := 0
+	for u := range adj {
+		l := adj[u]
+		sortShort(l)
+		for i, v := range l {
+			if v < 0 || v >= n {
+				panic(fmt.Sprintf("graph: neighbor %d out of range [0,%d)", v, n))
+			}
+			if v == u {
+				panic(fmt.Sprintf("graph: self-loop at %d", u))
+			}
+			if i > 0 && v == l[i-1] {
+				panic(fmt.Sprintf("graph: duplicate edge {%d,%d}", u, v))
+			}
+		}
+		g.adj[u] = l
+		degSum += len(l)
+	}
+	if degSum%2 != 0 {
+		panic("graph: asymmetric adjacency lists")
+	}
+	g.edges = degSum / 2
+	return g
+}
+
+// sortShort sorts an adjacency list, with a straight insertion sort for
+// the short lists typical of bounded-degree radio graphs (the generic sort
+// machinery costs more than it saves below a few dozen elements).
+func sortShort(l []int) {
+	if len(l) > 32 {
+		sort.Ints(l)
+		return
+	}
+	for i := 1; i < len(l); i++ {
+		v := l[i]
+		j := i - 1
+		for j >= 0 && l[j] > v {
+			l[j+1] = l[j]
+			j--
+		}
+		l[j+1] = v
+	}
+}
+
+// NeighborBitset fills dst (capacity ≥ n) with the neighbors of u and
+// returns it; with dst == nil a fresh set is allocated.
+func (g *Graph) NeighborBitset(u int, dst *Bitset) *Bitset {
+	if dst == nil {
+		dst = NewBitset(len(g.adj))
+	} else {
+		dst.Clear()
+	}
+	for _, v := range g.adj[u] {
+		dst.Add(v)
+	}
+	return dst
 }
 
 // SetOf returns a membership map for the given node IDs.

@@ -66,11 +66,11 @@ func BuildFrom(b *coverage.Builder, cl *cluster.Clustering) *CDS {
 
 		// One connector per 2-hop clusterhead: the lowest-ID neighbor that
 		// reaches it.
-		con2 := make(map[int]int, len(cov.C2))
-		for v, ws := range cov.Direct {
-			for _, w := range ws {
-				if prev, ok := con2[w]; !ok || v < prev {
-					con2[w] = v
+		con2 := make(map[int]int, cov.C2.Count())
+		for _, cn := range cov.Conns {
+			for _, w := range cn.Direct {
+				if prev, ok := con2[w]; !ok || cn.V < prev {
+					con2[w] = cn.V
 				}
 			}
 		}
@@ -81,12 +81,12 @@ func BuildFrom(b *coverage.Builder, cl *cluster.Clustering) *CDS {
 		c.Connectors2[h] = con2
 
 		// One pair per 3-hop clusterhead: the lowest-ID (gateway, relay).
-		con3 := make(map[int][2]int, len(cov.C3))
-		for v, pairs := range cov.Indirect {
-			for w, r := range pairs {
-				pair := [2]int{v, r}
-				if prev, ok := con3[w]; !ok || less(pair, prev) {
-					con3[w] = pair
+		con3 := make(map[int][2]int, cov.C3.Count())
+		for _, cn := range cov.Conns {
+			for _, e := range cn.Indirect {
+				pair := [2]int{cn.V, e.R}
+				if prev, ok := con3[e.W]; !ok || less(pair, prev) {
+					con3[e.W] = pair
 				}
 			}
 		}

@@ -340,7 +340,7 @@ func Run(g *graph.Graph, mode coverage.Mode) *Outcome {
 		if nd.state != head {
 			continue
 		}
-		cov := nd.assembleCoverage(mode)
+		cov := nd.assembleCoverage(mode, n)
 		out.Coverage[nd.id] = cov
 		sel := backbone.SelectGateways(cov, nil, nil)
 		out.PerHead[nd.id] = sel
@@ -390,48 +390,45 @@ func Run(g *graph.Graph, mode coverage.Mode) *Outcome {
 
 // assembleCoverage builds the head's coverage.Coverage from the gathered
 // CH_HOP1/CH_HOP2 reports, mirroring coverage.Builder.Of.
-func (nd *node) assembleCoverage(mode coverage.Mode) *coverage.Coverage {
+func (nd *node) assembleCoverage(mode coverage.Mode, n int) *coverage.Coverage {
 	cov := &coverage.Coverage{
 		Head: nd.id, Mode: mode,
-		C2: make(map[int]bool), C3: make(map[int]bool),
-		Direct: make(map[int][]int), Indirect: make(map[int]map[int]int),
+		C2: graph.NewBitset(n), C3: graph.NewBitset(n),
 	}
-	for _, v := range nd.neighbors {
+	// First pass over the (sorted) neighbors fills C² completely, because
+	// the C³ pass below must filter against it. Per-neighbor lists are
+	// collected into the connector layout coverage.Builder.Of produces.
+	direct := make([][]int, len(nd.neighbors))
+	for i, v := range nd.neighbors {
 		heads, ok := nd.gotHop1[v]
 		if !ok {
 			continue
 		}
-		var direct []int
+		var d []int
 		for _, w := range heads {
 			if w == nd.id {
 				continue
 			}
-			cov.C2[w] = true
-			direct = append(direct, w)
+			cov.C2.Add(w)
+			d = append(d, w)
 		}
-		if len(direct) > 0 {
-			cov.Direct[v] = direct
-		}
+		sort.Ints(d)
+		direct[i] = d
 	}
-	for _, v := range nd.neighbors {
-		entries, ok := nd.gotHop2[v]
-		if !ok {
-			continue
-		}
-		var ind map[int]int
-		for w, r := range entries {
-			if w == nd.id || cov.C2[w] {
+	for i, v := range nd.neighbors {
+		var ind []coverage.Hop2Entry
+		for w, r := range nd.gotHop2[v] {
+			if w == nd.id || cov.C2.Has(w) {
 				continue
 			}
-			cov.C3[w] = true
-			if ind == nil {
-				ind = make(map[int]int)
-			}
-			ind[w] = r
+			cov.C3.Add(w)
+			ind = append(ind, coverage.Hop2Entry{W: w, R: r})
 		}
-		if ind != nil {
-			cov.Indirect[v] = ind
+		sort.Slice(ind, func(a, b int) bool { return ind[a].W < ind[b].W })
+		if len(direct[i]) == 0 && len(ind) == 0 {
+			continue
 		}
+		cov.Conns = append(cov.Conns, coverage.Connector{V: v, Direct: direct[i], Indirect: ind})
 	}
 	return cov
 }

@@ -88,11 +88,11 @@ func crossCheck(t testing.TB, g *graph.Graph, mode coverage.Mode) {
 	for _, h := range cl.Heads {
 		want := b.Of(h)
 		got := out.Coverage[h]
-		if !reflect.DeepEqual(setKeys(got.C2), setKeys(want.C2)) {
-			t.Fatalf("%v: head %d C² differs: %v vs %v", mode, h, setKeys(got.C2), setKeys(want.C2))
+		if !got.C2.Equal(want.C2) {
+			t.Fatalf("%v: head %d C² differs: %v vs %v", mode, h, got.C2.Members(), want.C2.Members())
 		}
-		if !reflect.DeepEqual(setKeys(got.C3), setKeys(want.C3)) {
-			t.Fatalf("%v: head %d C³ differs: %v vs %v", mode, h, setKeys(got.C3), setKeys(want.C3))
+		if !got.C3.Equal(want.C3) {
+			t.Fatalf("%v: head %d C³ differs: %v vs %v", mode, h, got.C3.Members(), want.C3.Members())
 		}
 	}
 	st := backbone.BuildStaticFrom(b, cl)

@@ -7,6 +7,7 @@ package stats
 import (
 	"errors"
 	"math"
+	"sync"
 )
 
 // Summary holds running moments of a sample (Welford's algorithm, so a
@@ -269,14 +270,76 @@ func Replicate(rule StopRule, estimator func(rep int) (float64, bool)) (*Summary
 		x, ok := estimator(rep)
 		if !ok {
 			skips++
-			if skips > 10*rule.MaxReplicates {
-				if s.N() == 0 {
-					return s, ErrNoObservations
-				}
-				return s, nil
+			if done, err := skip(rule, s, &skips); done {
+				return s, err
 			}
 			continue
 		}
 		s.Add(x)
+	}
+}
+
+// skip applies the skip-budget bookkeeping shared by Replicate and
+// ReplicateN: too many skipped replicates end the run, with
+// ErrNoObservations when nothing was ever observed.
+func skip(rule StopRule, s *Summary, skips *int) (bool, error) {
+	if *skips > 10*rule.MaxReplicates {
+		if s.N() == 0 {
+			return true, ErrNoObservations
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// ReplicateN is Replicate with speculative parallel batches: replicates
+// [k, k+workers) run concurrently, then their observations are folded
+// strictly in replicate order, re-checking the stopping rule before each —
+// exactly the schedule of the sequential loop. Because the estimator must
+// derive any randomness from the replicate index alone (true for the
+// experiment package's seeding discipline, and required for Replicate to be
+// reproducible in the first place), the resulting Summary is bit-identical
+// to Replicate's for every worker count; parallelism only changes how many
+// speculative replicates past the stop point are computed and discarded
+// (at most workers−1).
+func ReplicateN(rule StopRule, workers int, estimator func(rep int) (float64, bool)) (*Summary, error) {
+	if workers <= 1 {
+		return Replicate(rule, estimator)
+	}
+	rule = rule.normalized()
+	s := &Summary{}
+	skips := 0
+	type obs struct {
+		x  float64
+		ok bool
+	}
+	batch := make([]obs, workers)
+	for next := 0; ; next += workers {
+		if rule.Done(s) {
+			return s, nil
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				x, ok := estimator(next + i)
+				batch[i] = obs{x, ok}
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < workers; i++ {
+			if rule.Done(s) {
+				return s, nil
+			}
+			if !batch[i].ok {
+				skips++
+				if done, err := skip(rule, s, &skips); done {
+					return s, err
+				}
+				continue
+			}
+			s.Add(batch[i].x)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -306,5 +307,94 @@ func TestReplicateDeterministicAcrossRuns(t *testing.T) {
 	m2, n2 := run()
 	if m1 != m2 || n1 != n2 {
 		t.Fatalf("replication not deterministic: (%g,%d) vs (%g,%d)", m1, n1, m2, n2)
+	}
+}
+
+// deterministicEstimator returns an estimator whose observation for rep
+// depends only on rep (the contract ReplicateN requires), with a skip
+// pattern thrown in.
+func deterministicEstimator(seed uint64) func(rep int) (float64, bool) {
+	return func(rep int) (float64, bool) {
+		h := seed ^ uint64(rep)*0x9E3779B97F4A7C15
+		h ^= h >> 33
+		h *= 0xFF51AFD7ED558CCD
+		h ^= h >> 33
+		if h%7 == 0 {
+			return 0, false // deterministic skip
+		}
+		return 10 + float64(h%1000)/100, true
+	}
+}
+
+// TestReplicateNMatchesSequential is the core determinism guarantee of the
+// batched replication: for any worker count the resulting Summary is
+// bit-identical to the sequential loop's.
+func TestReplicateNMatchesSequential(t *testing.T) {
+	rule := StopRule{Confidence: 0.99, RelHalfWidth: 0.05, MinReplicates: 30, MaxReplicates: 500}
+	for _, seed := range []uint64{1, 42, 987654321} {
+		want, err := Replicate(rule, deterministicEstimator(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+			got, err := ReplicateN(rule, workers, deterministicEstimator(seed))
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if *got != *want {
+				t.Fatalf("seed %d workers %d: summary diverged: %+v != %+v",
+					seed, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestReplicateNAllSkipped mirrors TestReplicateAllSkipped for the batched
+// path: an estimator that never produces a value ends with ErrNoObservations.
+func TestReplicateNAllSkipped(t *testing.T) {
+	rule := StopRule{MaxReplicates: 5}
+	s, err := ReplicateN(rule, 4, func(rep int) (float64, bool) { return 0, false })
+	if err != ErrNoObservations {
+		t.Fatalf("err = %v, want ErrNoObservations", err)
+	}
+	if s.N() != 0 {
+		t.Fatalf("N = %d, want 0", s.N())
+	}
+}
+
+// TestReplicateNSpeculationBound pins the documented cost of speculation:
+// no replicate index beyond the sequential stop point plus workers−1 is
+// ever evaluated.
+func TestReplicateNSpeculationBound(t *testing.T) {
+	rule := StopRule{Confidence: 0.99, RelHalfWidth: 0.05, MinReplicates: 30, MaxReplicates: 100}
+	// Sequential: find the largest rep the plain loop consults.
+	maxSeq := -1
+	if _, err := Replicate(rule, func(rep int) (float64, bool) {
+		if rep > maxSeq {
+			maxSeq = rep
+		}
+		return deterministicEstimator(3)(rep)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var mu sync.Mutex
+	maxPar := -1
+	if _, err := ReplicateN(rule, workers, func(rep int) (float64, bool) {
+		mu.Lock()
+		if rep > maxPar {
+			maxPar = rep
+		}
+		mu.Unlock()
+		return deterministicEstimator(3)(rep)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The batched run dispatches full batches, so it may look at up to
+	// workers−1 indices past the last batch containing the stop point.
+	limit := (maxSeq/workers+1)*workers - 1
+	if maxPar > limit {
+		t.Fatalf("speculation ran to rep %d, sequential stopped at %d (limit %d)",
+			maxPar, maxSeq, limit)
 	}
 }

@@ -93,49 +93,99 @@ func Generate(c Config, r *rng.Stream) (*Network, error) {
 // spatial grid, O(n · avg-degree) instead of O(n²).
 func place(n int, bounds geom.Rect, radius float64, r *rng.Stream) *Network {
 	positions := make([]geom.Point, n)
-	gridCell := radius
-	if gridCell <= 0 {
-		gridCell = bounds.Width() + bounds.Height() // degenerate: one big cell
-	}
-	grid := geom.NewGrid(bounds, gridCell)
 	for i := range positions {
-		p := geom.Point{
+		positions[i] = geom.Point{
 			X: r.Range(bounds.MinX, bounds.MaxX),
 			Y: r.Range(bounds.MinY, bounds.MaxY),
 		}
-		positions[i] = p
+	}
+	return &Network{
+		Positions: positions,
+		Radius:    radius,
+		Bounds:    bounds,
+		G:         buildUnitDiskGraph(positions, bounds, radius),
+	}
+}
+
+// buildUnitDiskGraph builds the unit disk graph over the positions with a
+// spatial hash grid: each node's full neighbor list comes straight from one
+// range query into a shared flat buffer, which then becomes the backing
+// array of the adjacency lists (one sort per list) — O(n·deg) time and a
+// constant number of allocations.
+func buildUnitDiskGraph(positions []geom.Point, bounds geom.Rect, radius float64) *graph.Graph {
+	n := len(positions)
+	if radius < 0 {
+		return graph.New(n)
+	}
+	gridCell := radius
+	if gridCell <= 0 {
+		gridCell = bounds.Width() + bounds.Height() + 1 // degenerate: one big cell
+	}
+	grid := geom.NewGrid(bounds, gridCell)
+	for _, p := range positions {
 		grid.Insert(p)
 	}
-	g := graph.New(n)
-	buf := make([]int, 0, 32)
+	// One half-neighborhood sweep distance-tests every candidate pair once
+	// (Within-per-node would test each twice). Edges are packed into one
+	// slice sized from the Poisson degree estimate, then the adjacency
+	// lists are assembled count-then-fill into a single backing array.
+	capHint := int(float64(n)*geom.ExpectedDegree(n, bounds.Area(), radius)*0.65) + 2*n
+	edges := make([]uint64, 0, capHint)
+	deg := make([]int, n)
+	grid.Pairs(radius, func(u, v int) {
+		deg[u]++
+		deg[v]++
+		edges = append(edges, uint64(u)<<32|uint64(v))
+	})
+	off := make([]int, n+1)
 	for u := 0; u < n; u++ {
-		buf = grid.Within(u, radius, buf[:0])
-		for _, v := range buf {
-			if v > u {
-				g.AddEdge(u, v)
-			}
-		}
+		off[u+1] = off[u] + deg[u]
 	}
-	return &Network{Positions: positions, Radius: radius, Bounds: bounds, G: g}
+	backing := make([]int, off[n])
+	cur := deg // reuse as fill cursors
+	copy(cur, off[:n])
+	for _, e := range edges {
+		u, v := int(e>>32), int(e&0xffffffff)
+		backing[cur[u]] = v
+		cur[u]++
+		backing[cur[v]] = u
+		cur[v]++
+	}
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		adj[u] = backing[off[u]:off[u+1]:off[u+1]]
+	}
+	return graph.FromAdjacency(n, adj)
 }
 
 // FromPositions builds the unit disk graph induced by explicit positions
-// and range. Used by mobility models and hand-crafted scenarios.
+// and range. Used by mobility models and hand-crafted scenarios; it runs
+// through the same spatial-grid path as random placement, so stepping a
+// mobility model costs O(n·deg) per step instead of O(n²).
 func FromPositions(positions []geom.Point, bounds geom.Rect, radius float64) *Network {
-	n := len(positions)
-	g := graph.New(n)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if positions[u].Dist(positions[v]) <= radius {
-				g.AddEdge(u, v)
-			}
+	// Positions outside the nominal bounds (hand-crafted scenarios) would
+	// defeat the grid's cell clamping; grow the indexing rectangle to cover
+	// them. The Network keeps the caller's bounds.
+	gridBounds := bounds
+	for _, p := range positions {
+		if p.X < gridBounds.MinX {
+			gridBounds.MinX = p.X
+		}
+		if p.X > gridBounds.MaxX {
+			gridBounds.MaxX = p.X
+		}
+		if p.Y < gridBounds.MinY {
+			gridBounds.MinY = p.Y
+		}
+		if p.Y > gridBounds.MaxY {
+			gridBounds.MaxY = p.Y
 		}
 	}
 	return &Network{
 		Positions: append([]geom.Point(nil), positions...),
 		Radius:    radius,
 		Bounds:    bounds,
-		G:         g,
+		G:         buildUnitDiskGraph(positions, gridBounds, radius),
 	}
 }
 

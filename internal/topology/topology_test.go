@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"clustercast/internal/geom"
+	"clustercast/internal/graph"
 	"clustercast/internal/rng"
 )
 
@@ -317,6 +318,61 @@ func BenchmarkGenerate100(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Generate(c, r); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// bruteForceUDG is the quadratic reference construction FromPositions used
+// before the spatial-grid path.
+func bruteForceUDG(positions []geom.Point, radius float64) *graph.Graph {
+	g := graph.New(len(positions))
+	for u := 0; u < len(positions); u++ {
+		for v := u + 1; v < len(positions); v++ {
+			if positions[u].Dist(positions[v]) <= radius {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// TestFromPositionsMatchesBruteForce pins the grid-built unit disk graph to
+// the O(n²) pairwise construction on random inputs, including positions on
+// the boundary and outside the nominal bounds.
+func TestFromPositionsMatchesBruteForce(t *testing.T) {
+	r := rng.New(99)
+	bounds := geom.Square(100)
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + r.Intn(120)
+		radius := 5 + r.Range(0, 30)
+		positions := make([]geom.Point, n)
+		for i := range positions {
+			positions[i] = geom.Point{
+				X: r.Range(bounds.MinX, bounds.MaxX),
+				Y: r.Range(bounds.MinY, bounds.MaxY),
+			}
+		}
+		// A few trials stress boundary and out-of-bounds placements.
+		if trial%3 == 0 {
+			positions[0] = geom.Point{X: bounds.MaxX, Y: bounds.MaxY}
+			positions[n-1] = geom.Point{X: bounds.MaxX + 17, Y: bounds.MinY - 4}
+		}
+		got := FromPositions(positions, bounds, radius).G
+		want := bruteForceUDG(positions, radius)
+		if got.N() != want.N() || got.M() != want.M() {
+			t.Fatalf("trial %d (n=%d r=%.2f): got %d nodes %d edges, want %d/%d",
+				trial, n, radius, got.N(), got.M(), want.N(), want.M())
+		}
+		for v := 0; v < n; v++ {
+			gn, wn := got.Neighbors(v), want.Neighbors(v)
+			if len(gn) != len(wn) {
+				t.Fatalf("trial %d: degree of %d differs: %v vs %v", trial, v, gn, wn)
+			}
+			for i := range gn {
+				if gn[i] != wn[i] {
+					t.Fatalf("trial %d: adjacency of %d differs: %v vs %v", trial, v, gn, wn)
+				}
+			}
 		}
 	}
 }
