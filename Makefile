@@ -1,8 +1,14 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench-smoke bench figures
+# Baseline the bench-compare target diffs against.
+BENCH_BASELINE ?= BENCH_PR2.json
+
+.PHONY: all ci build vet test test-race bench-smoke bench bench-compare figures
 
 all: vet test
+
+# Full CI gate: vet, tests, and the race-detector pass.
+ci: vet test test-race
 
 build:
 	$(GO) build ./...
@@ -22,6 +28,12 @@ test-race:
 # is built from. Compare against BENCH_PR1.json for regressions.
 bench-smoke:
 	$(GO) test -run xxx -bench 'SweepPoint|TopologyGenerate|CoverageBuilder|StaticBackbone|DynamicBroadcast|BitsetOps' -benchtime 1s .
+
+# Re-run the baselined benchmarks and diff ns/op + allocs/op against
+# $(BENCH_BASELINE), warning on regressions beyond 10%.
+bench-compare:
+	$(GO) test -run xxx -bench 'SweepPoint|MobilityStep|TopologyGenerate|CoverageBuilder|StaticBackbone|DynamicBroadcast|ConstructionThroughput|BitsetOps' -benchtime 1s . \
+		| $(GO) run ./cmd/benchcmp -baseline $(BENCH_BASELINE) -threshold 0.10
 
 # Full benchmark suite (several minutes).
 bench:

@@ -36,7 +36,6 @@ import (
 	"clustercast/internal/rng"
 	"clustercast/internal/routing"
 	"clustercast/internal/sim"
-	"clustercast/internal/stats"
 	"clustercast/internal/topology"
 )
 
@@ -666,21 +665,68 @@ func BenchmarkDynamicBroadcast(b *testing.B) {
 // BenchmarkSweepPoint measures one full figure data point end to end —
 // n=100, d=18, replicated under the paper's stopping rule (99% CI within
 // ±5%) — exactly what cmd/figures runs per (figure, series, n), through the
-// production batched-replication path at the configured worker count.
+// production workspace-pooled batched-replication path at the configured
+// worker count.
 func BenchmarkSweepPoint(b *testing.B) {
 	sc := experiment.DefaultScenario(100, 18, 2003)
-	est := experiment.StaticSizeEstimator(coverage.Hop25)
+	est := experiment.StaticSizeEstimatorWS(coverage.Hop25)
 	workers := experiment.Parallelism()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		sum, err := stats.ReplicateN(sc.Rule, workers, func(rep int) (float64, bool) {
-			return est(sc, rep)
-		})
-		if err != nil {
-			b.Fatal(err)
+		p := experiment.SweepPoint(sc, workers, est)
+		if p.Missing() {
+			b.Fatal("sweep point failed")
 		}
-		if sum.Mean() < 10 {
-			b.Fatalf("implausible CDS size %.1f", sum.Mean())
+		if p.Mean < 10 {
+			b.Fatalf("implausible CDS size %.1f", p.Mean)
+		}
+	}
+}
+
+// BenchmarkMobilityStep measures one mobility time step of unit-disk-graph
+// maintenance at n=100, d=18: full FromPositions reconstruction vs the
+// incremental topology.Dynamic repair that re-tests only the grid cells the
+// moved nodes touched. "sparse-10pct" moves 10 nodes per step (the regime
+// mobility ablations run in); "all-nodes" re-places every node (worst case,
+// where the incremental path falls back to a grid-reusing rebuild).
+func BenchmarkMobilityStep(b *testing.B) {
+	const n = 100
+	for _, w := range []struct {
+		name   string
+		movers int
+	}{
+		{"sparse-10pct", n / 10},
+		{"all-nodes", n},
+	} {
+		for _, mode := range []string{"full-rebuild", "incremental"} {
+			b.Run(w.name+"/"+mode, func(b *testing.B) {
+				nw := sample(b, n, 18, 1).Topology
+				bounds, radius := nw.Bounds, nw.Radius
+				pos := append([]geom.Point(nil), nw.Positions...)
+				r := rng.NewLabeled(3, "bench-mobility")
+				var dyn *topology.Dynamic
+				if mode == "incremental" {
+					dyn = topology.NewDynamic(nw)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				edges := 0
+				for i := 0; i < b.N; i++ {
+					for m := 0; m < w.movers; m++ {
+						v := r.Intn(n)
+						pos[v] = bounds.Clamp(geom.Point{
+							X: pos[v].X + (r.Float64()-0.5)*2,
+							Y: pos[v].Y + (r.Float64()-0.5)*2,
+						})
+					}
+					if dyn != nil {
+						edges += dyn.Step(pos).G.M()
+					} else {
+						edges += topology.FromPositions(pos, bounds, radius).G.M()
+					}
+				}
+				_ = edges
+			})
 		}
 	}
 }

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: clustercast
+BenchmarkSweepPoint   	     417	   2767097 ns/op	     184 B/op	       3 allocs/op
+BenchmarkMobilityStep/sparse-10pct/incremental-8         	   73852	     16380 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig6/d=6/static-2.5hop	     100	    500000 ns/op	        21.4 cds-size
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := got["BenchmarkSweepPoint"]
+	if !ok || m.nsOp != 2767097 || m.allocsOp != 3 {
+		t.Fatalf("SweepPoint parsed as %+v (ok=%v)", m, ok)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped.
+	if _, ok := got["BenchmarkMobilityStep/sparse-10pct/incremental"]; !ok {
+		t.Fatalf("suffixed benchmark name not normalized: %v", got)
+	}
+	if m := got["BenchmarkFig6/d=6/static-2.5hop"]; !m.hasNs || m.hasAlloc {
+		t.Fatalf("custom-metric line parsed wrong: %+v", m)
+	}
+}
+
+func f(v float64) *float64 { return &v }
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	baseline := []baselineEntry{
+		{Name: "BenchmarkSweepPoint", AfterNsOp: f(2500000), AfterAllocs: f(3)},
+		{Name: "BenchmarkMobilityStep/sparse-10pct/incremental", AfterNsOp: f(40000)},
+		{Name: "BenchmarkNotRun", AfterNsOp: f(1)},
+	}
+	got, err := parseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	n := compare(&out, baseline, got, 0.10)
+	if n != 1 {
+		t.Fatalf("want exactly the ns/op regression flagged, got %d:\n%s", n, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "WARN") {
+		t.Fatalf("missing WARN:\n%s", text)
+	}
+	if !strings.Contains(text, "improved") {
+		t.Fatalf("the 2.4x faster mobility step should report as improved:\n%s", text)
+	}
+	if !strings.Contains(text, "not measured") {
+		t.Fatalf("absent benchmark must be called out:\n%s", text)
+	}
+}
+
+func TestCompareWithinNoise(t *testing.T) {
+	baseline := []baselineEntry{
+		{Name: "BenchmarkSweepPoint", AfterNsOp: f(2767097), AfterAllocs: f(3)},
+	}
+	got, _ := parseBench(strings.NewReader(benchOutput))
+	var out strings.Builder
+	if n := compare(&out, baseline, got, 0.10); n != 0 {
+		t.Fatalf("identical numbers flagged as regression:\n%s", out.String())
+	}
+}

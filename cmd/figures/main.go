@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"clustercast/internal/experiment"
+	"clustercast/internal/prof"
 	"clustercast/internal/stats"
 )
 
@@ -37,6 +38,8 @@ type config struct {
 	maxN    int
 	outDir  string
 	workers int
+	cpuProf string
+	memProf string
 }
 
 // figureOrder is the canonical listing: the paper's figures first, then
@@ -172,10 +175,22 @@ func main() {
 	flag.StringVar(&cfg.outDir, "out", "", "also write each figure as <dir>/<id>.csv")
 	flag.IntVar(&cfg.workers, "workers", 0,
 		"replication worker count (0: GOMAXPROCS); results are bit-identical for any value")
+	flag.StringVar(&cfg.cpuProf, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&cfg.memProf, "memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
 
-	if err := run(cfg, os.Stdout); err != nil {
+	stopProf, err := prof.Start(cfg.cpuProf, cfg.memProf)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+	runErr := run(cfg, os.Stdout)
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", runErr)
 		os.Exit(1)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"clustercast/internal/fwdtree"
 	"clustercast/internal/marking"
 	"clustercast/internal/passive"
+	"clustercast/internal/prof"
 	"clustercast/internal/rng"
 	"clustercast/internal/sim"
 	"clustercast/internal/topology"
@@ -39,6 +40,8 @@ type config struct {
 	wire      bool
 	load      string
 	workers   int
+	cpuProf   string
+	memProf   string
 }
 
 // protocolRun is one row of the comparison table.
@@ -185,14 +188,26 @@ func main() {
 	flag.StringVar(&cfg.load, "load", "", "load a topology snapshot (JSON, from topogen -save) instead of generating one")
 	flag.IntVar(&cfg.workers, "workers", 0,
 		"cap the Go scheduler's processor count (0: leave GOMAXPROCS at the default); single runs are sequential either way")
+	flag.StringVar(&cfg.cpuProf, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&cfg.memProf, "memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
 
 	if cfg.workers > 0 {
 		runtime.GOMAXPROCS(cfg.workers)
 	}
 
-	if err := run(cfg, os.Stdout); err != nil {
+	stopProf, err := prof.Start(cfg.cpuProf, cfg.memProf)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "manetsim: %v\n", err)
+		os.Exit(1)
+	}
+	runErr := run(cfg, os.Stdout)
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "manetsim: %v\n", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "manetsim: %v\n", runErr)
 		os.Exit(1)
 	}
 }

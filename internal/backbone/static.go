@@ -56,17 +56,32 @@ func SelectGateways(cov *coverage.Coverage, need2, need3 *graph.Bitset) Selectio
 
 // SelectGatewaysOpt is SelectGateways with explicit Options.
 func SelectGatewaysOpt(cov *coverage.Coverage, need2, need3 *graph.Bitset, opts Options) Selection {
-	c2 := cov.C2.Clone()
+	n := cov.C2.Cap()
+	var c2, c3 graph.Bitset
+	covered := graph.NewBitset(n)
+	selected := graph.NewBitset(n)
+	selectCore(cov, need2, need3, opts, &c2, &c3, covered, selected)
+	return Selection{Head: cov.Head, Covered: covered, Gateways: selected.Members()}
+}
+
+// selectCore is the greedy selection over caller-provided bitsets: covered
+// receives the clusterheads the selection connects to, selected the chosen
+// gateway/relay nodes; c2 and c3 are scratch. All four are reset, so a
+// per-worker workspace can run the selection allocation-free.
+func selectCore(cov *coverage.Coverage, need2, need3 *graph.Bitset, opts Options, c2, c3, covered, selected *graph.Bitset) {
+	n := cov.C2.Cap()
+	c2.Reset(n)
+	c2.Or(cov.C2)
 	if need2 != nil {
 		c2.And(need2)
 	}
-	c3 := cov.C3.Clone()
+	c3.Reset(n)
+	c3.Or(cov.C3)
 	if need3 != nil {
 		c3.And(need3)
 	}
-
-	sel := Selection{Head: cov.Head, Covered: graph.NewBitset(c2.Cap())}
-	selected := graph.NewBitset(c2.Cap())
+	covered.Reset(n)
+	selected.Reset(n)
 
 	// Candidate connectors come pre-sorted by neighbor ID, so ascending
 	// scans give the paper's deterministic lowest-ID tie-breaking for free.
@@ -96,13 +111,13 @@ func SelectGatewaysOpt(cov *coverage.Coverage, need2, need3 *graph.Bitset, opts 
 		for _, w := range cn.Direct {
 			if c2.Has(w) {
 				c2.Remove(w)
-				sel.Covered.Add(w)
+				covered.Add(w)
 			}
 		}
 		for _, e := range cn.Indirect {
 			if c3.Has(e.W) {
 				c3.Remove(e.W)
-				sel.Covered.Add(e.W)
+				covered.Add(e.W)
 				selected.Add(e.R)
 			}
 		}
@@ -163,11 +178,8 @@ func SelectGatewaysOpt(cov *coverage.Coverage, need2, need3 *graph.Bitset, opts 
 		selected.Add(bestV)
 		selected.Add(bestR)
 		c3.Remove(w)
-		sel.Covered.Add(w)
+		covered.Add(w)
 	}
-
-	sel.Gateways = selected.Members()
-	return sel
 }
 
 // Static is the assembled static backbone (cluster-based SI-CDS).

@@ -1,0 +1,49 @@
+package backbone
+
+import (
+	"clustercast/internal/cluster"
+	"clustercast/internal/coverage"
+	"clustercast/internal/graph"
+)
+
+// Workspace owns the bitsets one gateway-selection pipeline needs, so a
+// worker can compute backbone sizes and node sets across replicates
+// without allocating.
+type Workspace struct {
+	c2       graph.Bitset
+	c3       graph.Bitset
+	covered  graph.Bitset
+	selected graph.Bitset
+	nodes    graph.Bitset
+}
+
+// NewWorkspace returns an empty workspace; bitsets grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// StaticSize returns BuildStaticOpt(b, cl, opts).Size() — the paper's
+// "size of the CDS" — without materializing the Static: no maps, no
+// per-head Selection, no allocations beyond workspace growth.
+func (ws *Workspace) StaticSize(b *coverage.Builder, cl *cluster.Clustering, opts Options) int {
+	return ws.StaticNodes(b, cl, opts).Count()
+}
+
+// SelectInto runs the greedy gateway selection of SelectGatewaysOpt and
+// fills dst with the selected nodes, using workspace scratch instead of
+// allocating a Selection. dst is reset.
+func (ws *Workspace) SelectInto(cov *coverage.Coverage, need2, need3 *graph.Bitset, opts Options, dst *graph.Bitset) {
+	selectCore(cov, need2, need3, opts, &ws.c2, &ws.c3, &ws.covered, dst)
+}
+
+// StaticNodes computes the static backbone membership (all clusterheads
+// plus every selected gateway) into a workspace-owned bitset. The result
+// is valid until the next StaticNodes/StaticSize call on the workspace.
+func (ws *Workspace) StaticNodes(b *coverage.Builder, cl *cluster.Clustering, opts Options) *graph.Bitset {
+	ws.nodes.Reset(b.N())
+	for _, h := range cl.Heads {
+		ws.nodes.Add(h)
+		cov := b.OfShared(h)
+		selectCore(cov, nil, nil, opts, &ws.c2, &ws.c3, &ws.covered, &ws.selected)
+		ws.nodes.Or(&ws.selected)
+	}
+	return &ws.nodes
+}

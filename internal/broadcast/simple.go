@@ -3,6 +3,7 @@ package broadcast
 import (
 	"fmt"
 
+	"clustercast/internal/graph"
 	"clustercast/internal/rng"
 )
 
@@ -67,4 +68,31 @@ func (s StaticCDS) Start(source int) Packet { return nil }
 // OnReceive implements Protocol.
 func (s StaticCDS) OnReceive(v, x int, pkt Packet) (bool, Packet) {
 	return s.Set[v], nil
+}
+
+// StaticCDSBits is StaticCDS with the membership held as a bitset — the
+// allocation-free variant used by workspace-backed estimators (a bitset
+// borrowed from a workspace instead of a materialized map).
+type StaticCDSBits struct {
+	NoDuplicates
+	// Set is the CDS membership.
+	Set *graph.Bitset
+	// Label distinguishes which CDS is in use in experiment output.
+	Label string
+}
+
+// Name implements Protocol.
+func (s StaticCDSBits) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "static-cds"
+}
+
+// Start implements Protocol.
+func (s StaticCDSBits) Start(source int) Packet { return nil }
+
+// OnReceive implements Protocol.
+func (s StaticCDSBits) OnReceive(v, x int, pkt Packet) (bool, Packet) {
+	return s.Set.Has(v), nil
 }

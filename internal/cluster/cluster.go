@@ -152,111 +152,9 @@ func HighestDegree(g *graph.Graph) *Clustering {
 // Elect runs the generic round-synchronous clusterhead election under the
 // given priority. In every round each candidate that beats all its
 // candidate neighbors declares head; candidates hearing declarations join
-// the best adjacent head.
+// the best adjacent head. Each call uses a fresh workspace, so the result
+// is independently allocated; hot replicate loops call Workspace.Elect to
+// reuse buffers instead.
 func Elect(g *graph.Graph, prio Priority) *Clustering {
-	n := g.N()
-	state := make([]electionState, n)
-	headOf := make([]int, n)
-	for i := range headOf {
-		headOf[i] = -1
-	}
-	remaining := n
-	rounds := 0
-
-	// Evaluate the priority once per node: the election compares priorities
-	// O(n·deg) times per round, and indirect closure calls in that loop
-	// dominate the cost for simple priorities like lowest-ID.
-	rank := make([]int, n)
-	tie := make([]int, n)
-	for v := 0; v < n; v++ {
-		rank[v], tie[v] = prio(v)
-	}
-	better := func(a, b int) bool {
-		if rank[a] != rank[b] {
-			return rank[a] < rank[b]
-		}
-		return tie[a] < tie[b]
-	}
-
-	declared := make([]int, 0, 16)
-	for remaining > 0 {
-		rounds++
-		// Phase 1: simultaneous declarations.
-		declared = declared[:0]
-		for v := 0; v < n; v++ {
-			if state[v] != candidate {
-				continue
-			}
-			wins := true
-			for _, u := range g.Neighbors(v) {
-				if state[u] == candidate && better(u, v) {
-					wins = false
-					break
-				}
-			}
-			if wins {
-				declared = append(declared, v)
-			}
-		}
-		if len(declared) == 0 {
-			// Cannot happen on a simple graph with a strict total order,
-			// but guard against priority functions that are not total.
-			panic("cluster: election stalled; priority function is not a total order")
-		}
-		for _, v := range declared {
-			state[v] = head
-			headOf[v] = v
-			remaining--
-		}
-		// Phase 2: candidates adjacent to a head join the best one.
-		for v := 0; v < n; v++ {
-			if state[v] != candidate {
-				continue
-			}
-			best := -1
-			for _, u := range g.Neighbors(v) {
-				if state[u] == head && (best == -1 || better(u, best)) {
-					best = u
-				}
-			}
-			if best != -1 {
-				state[v] = member
-				headOf[v] = best
-				remaining--
-			}
-		}
-	}
-
-	// Assemble the membership lists count-then-fill into one backing array
-	// (members come out ascending per cluster, as before, without the
-	// per-cluster append growth).
-	counts := make([]int, n)
-	for _, h := range headOf {
-		counts[h]++
-	}
-	backing := make([]int, n)
-	pos := make([]int, n)
-	s := 0
-	for h := 0; h < n; h++ {
-		if counts[h] > 0 {
-			pos[h] = s
-			s += counts[h]
-		}
-	}
-	for v := 0; v < n; v++ {
-		h := headOf[v]
-		backing[pos[h]] = v
-		pos[h]++
-	}
-	c := &Clustering{Head: headOf, Members: make(map[int][]int, 16), Rounds: rounds}
-	s = 0
-	for h := 0; h < n; h++ {
-		if counts[h] == 0 {
-			continue
-		}
-		c.Members[h] = backing[s : s+counts[h] : s+counts[h]]
-		s += counts[h]
-		c.Heads = append(c.Heads, h)
-	}
-	return c
+	return NewWorkspace().Elect(g, prio)
 }

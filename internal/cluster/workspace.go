@@ -1,0 +1,170 @@
+package cluster
+
+import "clustercast/internal/graph"
+
+// Workspace owns every buffer a clusterhead election needs — per-node
+// state, priorities, the declaration queue and the membership assembly —
+// plus the result Clustering itself. A worker reuses one Workspace across
+// replicates, so steady-state elections allocate nothing.
+//
+// The Clustering returned by Elect/LowestID is owned by the workspace and
+// valid only until the next election on the same workspace.
+type Workspace struct {
+	state    []electionState
+	headOf   []int
+	rank     []int
+	tie      []int
+	declared []int
+	counts   []int
+	backing  []int
+	pos      []int
+	heads    []int
+	members  map[int][]int
+	c        Clustering
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace {
+	return &Workspace{members: make(map[int][]int, 16)}
+}
+
+// ensure sizes the per-node buffers for n nodes.
+func (ws *Workspace) ensure(n int) {
+	if cap(ws.headOf) < n {
+		ws.state = make([]electionState, n)
+		ws.headOf = make([]int, n)
+		ws.rank = make([]int, n)
+		ws.tie = make([]int, n)
+		ws.counts = make([]int, n)
+		ws.backing = make([]int, n)
+		ws.pos = make([]int, n)
+	}
+	ws.state = ws.state[:n]
+	ws.headOf = ws.headOf[:n]
+	ws.rank = ws.rank[:n]
+	ws.tie = ws.tie[:n]
+	ws.counts = ws.counts[:n]
+	ws.backing = ws.backing[:n]
+	ws.pos = ws.pos[:n]
+}
+
+// LowestID runs the paper's lowest-ID election into the workspace.
+func (ws *Workspace) LowestID(g *graph.Graph) *Clustering {
+	return ws.Elect(g, LowestIDPriority)
+}
+
+// Elect runs the round-synchronous clusterhead election exactly like the
+// package-level Elect, reusing the workspace buffers instead of allocating.
+func (ws *Workspace) Elect(g *graph.Graph, prio Priority) *Clustering {
+	n := g.N()
+	ws.ensure(n)
+	state := ws.state
+	headOf := ws.headOf
+	for i := range state {
+		state[i] = candidate
+		headOf[i] = -1
+	}
+	remaining := n
+	rounds := 0
+
+	// Evaluate the priority once per node: the election compares priorities
+	// O(n·deg) times per round, and indirect closure calls in that loop
+	// dominate the cost for simple priorities like lowest-ID.
+	rank, tie := ws.rank, ws.tie
+	for v := 0; v < n; v++ {
+		rank[v], tie[v] = prio(v)
+	}
+	better := func(a, b int) bool {
+		if rank[a] != rank[b] {
+			return rank[a] < rank[b]
+		}
+		return tie[a] < tie[b]
+	}
+
+	declared := ws.declared[:0]
+	for remaining > 0 {
+		rounds++
+		// Phase 1: simultaneous declarations.
+		declared = declared[:0]
+		for v := 0; v < n; v++ {
+			if state[v] != candidate {
+				continue
+			}
+			wins := true
+			for _, u := range g.Neighbors(v) {
+				if state[u] == candidate && better(u, v) {
+					wins = false
+					break
+				}
+			}
+			if wins {
+				declared = append(declared, v)
+			}
+		}
+		if len(declared) == 0 {
+			// Cannot happen on a simple graph with a strict total order,
+			// but guard against priority functions that are not total.
+			panic("cluster: election stalled; priority function is not a total order")
+		}
+		for _, v := range declared {
+			state[v] = head
+			headOf[v] = v
+			remaining--
+		}
+		// Phase 2: candidates adjacent to a head join the best one.
+		for v := 0; v < n; v++ {
+			if state[v] != candidate {
+				continue
+			}
+			best := -1
+			for _, u := range g.Neighbors(v) {
+				if state[u] == head && (best == -1 || better(u, best)) {
+					best = u
+				}
+			}
+			if best != -1 {
+				state[v] = member
+				headOf[v] = best
+				remaining--
+			}
+		}
+	}
+	ws.declared = declared
+
+	// Assemble the membership lists count-then-fill into one backing array,
+	// exactly like Elect, over the reused counts/pos/backing buffers and
+	// the cleared membership map.
+	counts := ws.counts
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, h := range headOf {
+		counts[h]++
+	}
+	backing, pos := ws.backing, ws.pos
+	s := 0
+	for h := 0; h < n; h++ {
+		if counts[h] > 0 {
+			pos[h] = s
+			s += counts[h]
+		}
+	}
+	for v := 0; v < n; v++ {
+		h := headOf[v]
+		backing[pos[h]] = v
+		pos[h]++
+	}
+	clear(ws.members)
+	ws.heads = ws.heads[:0]
+	s = 0
+	for h := 0; h < n; h++ {
+		if counts[h] == 0 {
+			continue
+		}
+		ws.members[h] = backing[s : s+counts[h] : s+counts[h]]
+		s += counts[h]
+		ws.heads = append(ws.heads, h)
+	}
+	ws.c = Clustering{Head: headOf, Heads: ws.heads, Members: ws.members, Rounds: rounds}
+	return &ws.c
+}

@@ -101,6 +101,14 @@ type Coverage struct {
 	// instead of maps: gateway selection scans them in tight loops, and a
 	// slice walk is both faster and deterministic.
 	Conns []Connector
+
+	// Construction backing, kept on the value so OfReuse can refill a
+	// Coverage without allocating: the Conns slices above are views into
+	// direct/indirect, addressed during assembly by the offset arrays.
+	dirOff   []int
+	indOff   []int
+	direct   []int
+	indirect []Hop2Entry
 }
 
 // Connector returns the connector of neighbor v, or nil when v
@@ -157,27 +165,54 @@ type Builder struct {
 	// by clusterhead ID (w -> lowest-ID relay r with v—r—w per the mode's
 	// rule and w not adjacent to v).
 	ch2 [][]Hop2Entry
+
+	// Digest backing and scratch, reused across Reset calls so a builder
+	// owned by a per-worker workspace re-digests without allocating.
+	ch1backing []int
+	ch2backing []Hop2Entry
+	adjacent   *graph.Bitset
+	scratch    []Hop2Entry
+	sharedCov  Coverage
 }
 
 // NewBuilder digests the clustered network once. The clustering must be
 // valid for g.
 func NewBuilder(g *graph.Graph, cl *cluster.Clustering, mode Mode) *Builder {
+	b := &Builder{}
+	b.Reset(g, cl, mode)
+	return b
+}
+
+// Reset re-digests the builder for a new clustered network, reusing every
+// internal buffer. All slices and coverage sets previously served by the
+// builder are invalidated.
+func (b *Builder) Reset(g *graph.Graph, cl *cluster.Clustering, mode Mode) {
 	n := g.N()
-	b := &Builder{g: g, cl: cl, mode: mode, ch1: make([][]int, n), ch2: make([][]Hop2Entry, n)}
+	b.g, b.cl, b.mode = g, cl, mode
+	if cap(b.ch1) < n {
+		b.ch1 = make([][]int, n)
+		b.ch2 = make([][]Hop2Entry, n)
+	}
+	b.ch1 = b.ch1[:n]
+	b.ch2 = b.ch2[:n]
+	for v := range b.ch2 {
+		b.ch2[v] = nil
+	}
 
 	// CH_HOP1 digests: count, then fill a single backing array. Adjacency
 	// lists are sorted, so each ch1[v] comes out sorted for free.
-	counts := make([]int, n)
 	total := 0
 	for v := 0; v < n; v++ {
 		for _, u := range g.Neighbors(v) {
 			if cl.IsHead(u) {
-				counts[v]++
 				total++
 			}
 		}
 	}
-	backing := make([]int, 0, total)
+	if cap(b.ch1backing) < total {
+		b.ch1backing = make([]int, 0, total)
+	}
+	backing := b.ch1backing[:0]
 	for v := 0; v < n; v++ {
 		start := len(backing)
 		for _, u := range g.Neighbors(v) {
@@ -187,15 +222,27 @@ func NewBuilder(g *graph.Graph, cl *cluster.Clustering, mode Mode) *Builder {
 		}
 		b.ch1[v] = backing[start:len(backing):len(backing)]
 	}
+	b.ch1backing = backing
 
 	// CH_HOP2 digests: collect candidate (w, r) entries into a reusable
 	// scratch, sort by (w, r) and keep the lowest-ID relay per w. The
 	// deduplicated entries are packed into one growing backing array —
 	// earlier slices stay valid across reallocation, and the per-node
 	// allocation disappears from this hot constructor.
-	adjacent := graph.NewBitset(n) // clusterheads adjacent to v
-	scratch := make([]Hop2Entry, 0, 64)
-	ch2backing := make([]Hop2Entry, 0, n)
+	if b.adjacent == nil {
+		b.adjacent = graph.NewBitset(n)
+	} else {
+		b.adjacent.Reset(n)
+	}
+	adjacent := b.adjacent // clusterheads adjacent to v
+	if b.scratch == nil {
+		b.scratch = make([]Hop2Entry, 0, 64)
+	}
+	scratch := b.scratch[:0]
+	if cap(b.ch2backing) < n {
+		b.ch2backing = make([]Hop2Entry, 0, n)
+	}
+	ch2backing := b.ch2backing[:0]
 	for v := 0; v < n; v++ {
 		if cl.IsHead(v) {
 			continue
@@ -237,7 +284,8 @@ func NewBuilder(g *graph.Graph, cl *cluster.Clustering, mode Mode) *Builder {
 		}
 		b.ch2[v] = ch2backing[start:len(ch2backing):len(ch2backing)]
 	}
-	return b
+	b.scratch = scratch
+	b.ch2backing = ch2backing
 }
 
 // sortEntries orders CH_HOP2 entries by (W, R). The lists are tiny (one
@@ -281,23 +329,47 @@ func (b *Builder) CH2(v int) map[int]int {
 	return m
 }
 
-// Of computes the coverage set of clusterhead u. It panics when u is not a
-// clusterhead of the clustering.
+// Of computes the coverage set of clusterhead u into a fresh Coverage. It
+// panics when u is not a clusterhead of the clustering.
 func (b *Builder) Of(u int) *Coverage {
+	return b.OfReuse(u, &Coverage{})
+}
+
+// OfShared computes the coverage set of u into a Coverage owned by the
+// builder — the allocation-free path for callers that need one coverage
+// set at a time. The result is valid only until the next OfShared or
+// Reset call.
+func (b *Builder) OfShared(u int) *Coverage {
+	return b.OfReuse(u, &b.sharedCov)
+}
+
+// OfReuse computes the coverage set of clusterhead u into c, reusing c's
+// bitsets and backing arrays. It panics when u is not a clusterhead of the
+// clustering.
+func (b *Builder) OfReuse(u int, c *Coverage) *Coverage {
 	if !b.cl.IsHead(u) {
 		panic("coverage: Of called on a non-clusterhead")
 	}
 	n := b.g.N()
-	c := &Coverage{
-		Head: u, Mode: b.mode,
-		C2: graph.NewBitset(n), C3: graph.NewBitset(n),
+	c.Head, c.Mode = u, b.mode
+	if c.C2 == nil {
+		c.C2, c.C3 = graph.NewBitset(n), graph.NewBitset(n)
+	} else {
+		c.C2.Reset(n)
+		c.C3.Reset(n)
 	}
+	c.Conns = c.Conns[:0]
 	nbrs := b.g.Neighbors(u)
 	// C² first (from neighbors' CH_HOP1), because the C³ pass must filter
 	// against the complete C². Per-neighbor lists are packed into shared
 	// backing arrays addressed by offsets — no per-neighbor allocations.
-	dirOff := make([]int, len(nbrs)+1)
-	direct := make([]int, 0, 16)
+	if cap(c.dirOff) < len(nbrs)+1 {
+		c.dirOff = make([]int, len(nbrs)+1)
+		c.indOff = make([]int, len(nbrs)+1)
+	}
+	dirOff := c.dirOff[:len(nbrs)+1]
+	dirOff[0] = 0
+	direct := c.direct[:0]
 	for i, v := range nbrs {
 		for _, w := range b.ch1[v] {
 			if w == u {
@@ -309,8 +381,9 @@ func (b *Builder) Of(u int) *Coverage {
 		dirOff[i+1] = len(direct)
 	}
 	// C³: from neighbors' CH_HOP2, removing C² duplicates.
-	indOff := make([]int, len(nbrs)+1)
-	indirect := make([]Hop2Entry, 0, 16)
+	indOff := c.indOff[:len(nbrs)+1]
+	indOff[0] = 0
+	indirect := c.indirect[:0]
 	for i, v := range nbrs {
 		for _, e := range b.ch2[v] {
 			if e.W == u || c.C2.Has(e.W) {
@@ -321,6 +394,7 @@ func (b *Builder) Of(u int) *Coverage {
 		}
 		indOff[i+1] = len(indirect)
 	}
+	c.direct, c.indirect = direct, indirect
 	for i, v := range nbrs {
 		d := direct[dirOff[i]:dirOff[i+1]:dirOff[i+1]]
 		in := indirect[indOff[i]:indOff[i+1]:indOff[i+1]]

@@ -49,10 +49,22 @@ type packet struct {
 // across broadcasts from any source (the clusterheads and coverage sets
 // are fixed; only gateway selection happens per broadcast).
 type Protocol struct {
-	g    *graph.Graph
-	cl   *cluster.Clustering
-	b    *coverage.Builder
-	covs map[int]*coverage.Coverage // per-head full coverage sets
+	g         *graph.Graph
+	cl        *cluster.Clustering
+	b         *coverage.Builder
+	covArena  []coverage.Coverage        // per-head full coverage sets
+	covByNode []*coverage.Coverage       // head ID -> its arena entry
+	sel       *backbone.Workspace        // gateway-selection scratch
+
+	// Packet/bitset arenas, active only for workspace-backed protocols:
+	// several head packets are alive within one broadcast, so the arenas
+	// are bump-allocated and rewound once per broadcast (in Start).
+	reuse   bool
+	need    graph.Bitset
+	bitsets []*graph.Bitset
+	bcur    int
+	packets []*packet
+	pcur    int
 }
 
 var _ broadcast.Protocol = (*Protocol)(nil)
@@ -60,13 +72,65 @@ var _ broadcast.Protocol = (*Protocol)(nil)
 // New builds the dynamic-backbone protocol for a clustered network under
 // the given coverage-set mode.
 func New(g *graph.Graph, cl *cluster.Clustering, mode coverage.Mode) *Protocol {
-	b := coverage.NewBuilder(g, cl, mode)
-	return &Protocol{g: g, cl: cl, b: b, covs: b.All()}
+	return NewFrom(coverage.NewBuilder(g, cl, mode), g, cl)
 }
 
 // NewFrom builds the protocol reusing an existing coverage builder.
 func NewFrom(b *coverage.Builder, g *graph.Graph, cl *cluster.Clustering) *Protocol {
-	return &Protocol{g: g, cl: cl, b: b, covs: b.All()}
+	p := &Protocol{sel: backbone.NewWorkspace()}
+	p.init(b, g, cl)
+	return p
+}
+
+// init (re)points the protocol at a clustered network, computing the
+// per-head coverage sets into the reused arena.
+func (p *Protocol) init(b *coverage.Builder, g *graph.Graph, cl *cluster.Clustering) {
+	p.g, p.cl, p.b = g, cl, b
+	n := g.N()
+	if cap(p.covArena) < len(cl.Heads) {
+		p.covArena = make([]coverage.Coverage, len(cl.Heads))
+	}
+	p.covArena = p.covArena[:len(cl.Heads)]
+	if cap(p.covByNode) < n {
+		p.covByNode = make([]*coverage.Coverage, n)
+	}
+	p.covByNode = p.covByNode[:n]
+	for i := range p.covByNode {
+		p.covByNode[i] = nil
+	}
+	for i, h := range cl.Heads {
+		c := &p.covArena[i]
+		b.OfReuse(h, c)
+		p.covByNode[h] = c
+	}
+}
+
+// allocBitset returns a cleared n-bitset: fresh for plain protocols, from
+// the bump arena for workspace-backed ones.
+func (p *Protocol) allocBitset(n int) *graph.Bitset {
+	if !p.reuse {
+		return graph.NewBitset(n)
+	}
+	if p.bcur == len(p.bitsets) {
+		p.bitsets = append(p.bitsets, graph.NewBitset(n))
+	}
+	b := p.bitsets[p.bcur]
+	p.bcur++
+	b.Reset(n)
+	return b
+}
+
+// allocPacket returns a packet to fill, analogous to allocBitset.
+func (p *Protocol) allocPacket() *packet {
+	if !p.reuse {
+		return &packet{}
+	}
+	if p.pcur == len(p.packets) {
+		p.packets = append(p.packets, &packet{})
+	}
+	pk := p.packets[p.pcur]
+	p.pcur++
+	return pk
 }
 
 // Mode returns the coverage-set variant in use.
@@ -77,24 +141,36 @@ func (p *Protocol) Name() string {
 	return "dynamic-" + p.b.Mode().String()
 }
 
-// Start implements broadcast.Protocol.
+// Start implements broadcast.Protocol. For workspace-backed protocols the
+// packet/bitset arenas rewind here — the engine retains nothing across
+// broadcasts, so everything handed out during the previous broadcast is
+// dead by the next Start.
 func (p *Protocol) Start(source int) broadcast.Packet {
+	p.bcur, p.pcur = 0, 0
 	if p.cl.IsHead(source) {
 		return p.headPacket(source, nil, -1)
 	}
 	// Rule 1: a non-clusterhead source just sends the packet toward its
 	// clusterhead; it designates no other relays.
-	return &packet{fromCH: -1, cov: nil, forward: nil}
+	pk := p.allocPacket()
+	*pk = packet{fromCH: -1, cov: nil, forward: nil}
+	return pk
 }
 
 // headPacket runs clusterhead v's selection against the exclusions implied
 // by the incoming packet (nil for a source clusterhead) and the immediate
 // transmitter x (-1 for none), returning the outgoing payload.
 func (p *Protocol) headPacket(v int, in *packet, x int) *packet {
-	cov := p.covs[v]
+	cov := p.covByNode[v]
+	n := p.g.N()
 	// Updated coverage set: start from the full C(v), drop everything the
-	// upstream transmission already covers.
-	need := cov.Set()
+	// upstream transmission already covers. The need set is consumed by
+	// the selection below and never escapes, so one scratch bitset serves
+	// every head packet.
+	need := &p.need
+	need.Reset(n)
+	need.Or(cov.C2)
+	need.Or(cov.C3)
 	if in != nil {
 		if in.cov != nil {
 			need.AndNot(in.cov)
@@ -110,17 +186,18 @@ func (p *Protocol) headPacket(v int, in *packet, x int) *packet {
 			need.Remove(w)
 		}
 	}
-	sel := backbone.SelectGateways(cov, need, need)
-	fwd := graph.NewBitset(p.g.N())
-	for _, gw := range sel.Gateways {
-		fwd.Add(gw)
-	}
+	fwd := p.allocBitset(n)
+	p.sel.SelectInto(cov, need, need, backbone.Options{}, fwd)
 	// Piggyback the FULL coverage set (paper: "F(3)={9} and C(3)={1,2,4}
 	// are piggybacked"): everything in C(v) either receives via F(v) or
 	// was excluded precisely because it already received.
-	full := cov.Set()
+	full := p.allocBitset(n)
+	full.Or(cov.C2)
+	full.Or(cov.C3)
 	full.Add(v)
-	return &packet{fromCH: v, cov: full, forward: fwd}
+	pk := p.allocPacket()
+	*pk = packet{fromCH: v, cov: full, forward: fwd}
+	return pk
 }
 
 // OnReceive implements broadcast.Protocol.

@@ -1,0 +1,34 @@
+package dynamicb
+
+import (
+	"clustercast/internal/backbone"
+	"clustercast/internal/cluster"
+	"clustercast/internal/coverage"
+	"clustercast/internal/graph"
+)
+
+// Workspace owns a coverage builder, a protocol and its packet/bitset
+// arenas, so a worker can rebuild the dynamic-backbone protocol for a new
+// network every replicate without allocating in steady state.
+type Workspace struct {
+	builder coverage.Builder
+	proto   Protocol
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace {
+	ws := &Workspace{}
+	ws.proto.sel = backbone.NewWorkspace()
+	ws.proto.reuse = true
+	return ws
+}
+
+// NewWith builds the dynamic-backbone protocol for a clustered network
+// under the given coverage-set mode, reusing every workspace buffer. The
+// returned protocol — and any result derived from a prior one — is valid
+// only until the next NewWith call on the same workspace.
+func (ws *Workspace) NewWith(g *graph.Graph, cl *cluster.Clustering, mode coverage.Mode) *Protocol {
+	ws.builder.Reset(g, cl, mode)
+	ws.proto.init(&ws.builder, g, cl)
+	return &ws.proto
+}

@@ -1,0 +1,47 @@
+package dynamicb
+
+import (
+	"testing"
+
+	"clustercast/internal/cluster"
+	"clustercast/internal/coverage"
+	"clustercast/internal/geom"
+	"clustercast/internal/rng"
+	"clustercast/internal/topology"
+)
+
+// TestWorkspaceProtocolMatchesNew proves the arena-backed protocol makes
+// exactly the decisions of the allocating one: same forward counts and
+// same transmitting sets, for every source, both modes, across reuse of a
+// single workspace over several networks.
+func TestWorkspaceProtocolMatchesNew(t *testing.T) {
+	ws := NewWorkspace()
+	for rep := 0; rep < 6; rep++ {
+		nw, err := topology.Generate(topology.Config{
+			N: 90, Bounds: geom.Square(100), AvgDegree: 8,
+			RequireConnected: true,
+		}, rng.New(uint64(700+rep)))
+		if err != nil {
+			t.Fatalf("rep %d: generate: %v", rep, err)
+		}
+		cl := cluster.LowestID(nw.G)
+		for _, mode := range []coverage.Mode{coverage.Hop25, coverage.Hop3} {
+			want := New(nw.G, cl, mode)
+			got := ws.NewWith(nw.G, cl, mode)
+			for src := 0; src < nw.N(); src++ {
+				wres := want.Broadcast(src)
+				gres := got.Broadcast(src)
+				if gres.ForwardCount() != wres.ForwardCount() {
+					t.Fatalf("rep %d mode %v src %d: forward count %d, want %d",
+						rep, mode, src, gres.ForwardCount(), wres.ForwardCount())
+				}
+				for v := 0; v < nw.N(); v++ {
+					if gres.Forwarders[v] != wres.Forwarders[v] {
+						t.Fatalf("rep %d mode %v src %d: node %d forwarded %v, want %v",
+							rep, mode, src, v, gres.Forwarders[v], wres.Forwarders[v])
+					}
+				}
+			}
+		}
+	}
+}

@@ -176,10 +176,14 @@ func Mobility(speeds []float64, n int, d float64, steps int, seed uint64, rule s
 				prevNet := nw
 				prevCl := cluster.LowestID(prevNet.G)
 				prevBB := backbone.BuildStatic(prevNet.G, prevCl, coverage.Hop25)
+				// Incremental edge maintenance: each step re-tests only the
+				// grid cells the moved nodes touched instead of rebuilding
+				// the whole unit disk graph.
+				dyn := topology.NewDynamic(nw)
 				total := 0.0
 				for step := 0; step < steps; step++ {
 					pos := mob.Step(1)
-					cur := topology.FromPositions(pos, sc.Bounds, nw.Radius)
+					cur := dyn.Step(pos)
 					curCl := cluster.LowestID(cur.G)
 					curBB := backbone.BuildStatic(cur.G, curCl, coverage.Hop25)
 					total += measure(prevBB.Nodes, curBB.Nodes, prevCl.Head, curCl.Head, sc.N)

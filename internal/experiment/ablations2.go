@@ -28,8 +28,8 @@ func SICDS(ns []int, d float64, seed uint64, rule stats.StopRule) *Figure {
 		Title:  fmt.Sprintf("Size of source-independent CDS constructions (d=%g)", d),
 		XLabel: "n", YLabel: "CDS size",
 		Series: []Series{
-			sweep("static-2.5hop", ns, d, seed, rule, StaticSizeEstimator(coverage.Hop25)),
-			sweep("mo-cds", ns, d, seed, rule, MOCDSSizeEstimator()),
+			sweepWS("static-2.5hop", ns, d, seed, rule, StaticSizeEstimatorWS(coverage.Hop25)),
+			sweepWS("mo-cds", ns, d, seed, rule, MOCDSSizeEstimatorWS()),
 			sweep("marking-rules12", ns, d, seed, rule, func(sc Scenario, rep int) (float64, bool) {
 				nw, _, ok := sc.Sample("sicds-marking", rep)
 				if !ok {
@@ -119,9 +119,11 @@ func Maintenance(speeds []float64, n int, d float64, steps int, seed uint64, rul
 				mob := topology.NewRandomWaypoint(nw.Positions, sc.Bounds, speed/2, speed, 0,
 					rng.NewLabeled(sc.Seed^uint64(rep), "maint-waypoint"))
 				prev := cluster.LowestID(nw.G)
+				// Incremental edge maintenance (see ablations.go Mobility).
+				dyn := topology.NewDynamic(nw)
 				total := 0
 				for step := 0; step < steps; step++ {
-					cur := topology.FromPositions(mob.Step(1), sc.Bounds, nw.Radius)
+					cur := dyn.Step(mob.Step(1))
 					var next *cluster.Clustering
 					if useLCC {
 						next, _ = cluster.Maintain(cur.G, prev)

@@ -94,8 +94,8 @@ func TestCSVAndMarkdownRendering(t *testing.T) {
 	f := &Figure{
 		ID: "test", Title: "T", XLabel: "n", YLabel: "y",
 		Series: []Series{
-			{Name: "a", Points: []Point{{X: 20, Mean: 1.5, CI: 0.1}, {X: 40, Mean: 2.5, CI: 0.2}}},
-			{Name: "b", Points: []Point{{X: 20, Mean: 3, CI: 0.3}, {X: 40, Mean: 4, CI: 0.4}}},
+			{Name: "a", Points: []Point{{X: 20, Mean: 1.5, CI: 0.1, Reps: 5}, {X: 40, Mean: 2.5, CI: 0.2, Reps: 5}}},
+			{Name: "b", Points: []Point{{X: 20, Mean: 3, CI: 0.3, Reps: 5}, {X: 40, Mean: 4, CI: 0.4, Reps: 5}}},
 		},
 	}
 	csv := f.CSV()
@@ -112,6 +112,37 @@ func TestCSVAndMarkdownRendering(t *testing.T) {
 	chart := f.ASCIIChart(8)
 	if !strings.Contains(chart, "A = a") || !strings.Contains(chart, "B = b") {
 		t.Fatalf("ASCII chart legend missing:\n%s", chart)
+	}
+}
+
+func TestMissingPointRendering(t *testing.T) {
+	// A failed sweep point (Reps == 0) must render as an explicit missing
+	// marker, never as a fake 0.0000 measurement.
+	f := &Figure{
+		ID: "miss", Title: "M", XLabel: "n", YLabel: "y",
+		Series: []Series{
+			{Name: "a", Points: []Point{{X: 20, Mean: 1.5, CI: 0.1, Reps: 5}, {X: 40}}},
+			{Name: "b", Points: []Point{{X: 20, Mean: 3, CI: 0.3, Reps: 7}, {X: 40, Mean: 4, CI: 0.4, Reps: 7}}},
+		},
+	}
+	if !f.Series[0].Points[1].Missing() || f.Series[0].Points[0].Missing() {
+		t.Fatal("Missing() must track Reps == 0")
+	}
+	csv := f.CSV()
+	if !strings.Contains(csv, "40,,,4.0000,0.4000") {
+		t.Fatalf("missing CSV point must leave empty cells:\n%s", csv)
+	}
+	if strings.Contains(csv, "40,0.0000") {
+		t.Fatalf("missing point rendered as fake zero:\n%s", csv)
+	}
+	md := f.Markdown()
+	if !strings.Contains(md, "| 40 | n/a | 4.00 ± 0.40 |") {
+		t.Fatalf("missing Markdown point must render as n/a:\n%s", md)
+	}
+	// The ASCII chart must simply skip the missing point.
+	chart := f.ASCIIChart(6)
+	if !strings.Contains(chart, "A = a") {
+		t.Fatalf("chart legend missing:\n%s", chart)
 	}
 }
 

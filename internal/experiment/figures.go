@@ -103,9 +103,9 @@ func Fig6(d float64, ns []int, seed uint64, rule stats.StopRule) *Figure {
 		Title:  fmt.Sprintf("Average size of the CDS (d=%g)", d),
 		XLabel: "n", YLabel: "CDS size",
 		Series: []Series{
-			sweep("static-2.5hop", ns, d, seed, rule, StaticSizeEstimator(coverage.Hop25)),
-			sweep("static-3hop", ns, d, seed, rule, StaticSizeEstimator(coverage.Hop3)),
-			sweep("mo-cds", ns, d, seed, rule, MOCDSSizeEstimator()),
+			sweepWS("static-2.5hop", ns, d, seed, rule, StaticSizeEstimatorWS(coverage.Hop25)),
+			sweepWS("static-3hop", ns, d, seed, rule, StaticSizeEstimatorWS(coverage.Hop3)),
+			sweepWS("mo-cds", ns, d, seed, rule, MOCDSSizeEstimatorWS()),
 		},
 	}
 }
@@ -118,9 +118,9 @@ func Fig7(d float64, ns []int, seed uint64, rule stats.StopRule) *Figure {
 		Title:  fmt.Sprintf("Average size of the forward node set (d=%g)", d),
 		XLabel: "n", YLabel: "forward nodes",
 		Series: []Series{
-			sweep("dynamic-2.5hop", ns, d, seed, rule, DynamicForwardEstimator(coverage.Hop25)),
-			sweep("dynamic-3hop", ns, d, seed, rule, DynamicForwardEstimator(coverage.Hop3)),
-			sweep("mo-cds", ns, d, seed, rule, MOCDSForwardEstimator()),
+			sweepWS("dynamic-2.5hop", ns, d, seed, rule, DynamicForwardEstimatorWS(coverage.Hop25)),
+			sweepWS("dynamic-3hop", ns, d, seed, rule, DynamicForwardEstimatorWS(coverage.Hop3)),
+			sweepWS("mo-cds", ns, d, seed, rule, MOCDSForwardEstimatorWS()),
 		},
 	}
 }
@@ -133,10 +133,10 @@ func Fig8(d float64, ns []int, seed uint64, rule stats.StopRule) *Figure {
 		Title:  fmt.Sprintf("Forward node set, static vs dynamic backbone (d=%g)", d),
 		XLabel: "n", YLabel: "forward nodes",
 		Series: []Series{
-			sweep("static-2.5hop", ns, d, seed, rule, StaticForwardEstimator(coverage.Hop25)),
-			sweep("static-3hop", ns, d, seed, rule, StaticForwardEstimator(coverage.Hop3)),
-			sweep("dynamic-2.5hop", ns, d, seed, rule, DynamicForwardEstimator(coverage.Hop25)),
-			sweep("dynamic-3hop", ns, d, seed, rule, DynamicForwardEstimator(coverage.Hop3)),
+			sweepWS("static-2.5hop", ns, d, seed, rule, StaticForwardEstimatorWS(coverage.Hop25)),
+			sweepWS("static-3hop", ns, d, seed, rule, StaticForwardEstimatorWS(coverage.Hop3)),
+			sweepWS("dynamic-2.5hop", ns, d, seed, rule, DynamicForwardEstimatorWS(coverage.Hop25)),
+			sweepWS("dynamic-3hop", ns, d, seed, rule, DynamicForwardEstimatorWS(coverage.Hop3)),
 		},
 	}
 }

@@ -1,0 +1,36 @@
+package experiment
+
+import (
+	"testing"
+
+	"clustercast/internal/coverage"
+)
+
+// TestWorkspaceSweepsMatchLegacy proves every workspace-threaded estimator
+// reproduces its allocating counterpart point-for-point: same means, CIs
+// and replicate counts under the identical (seed, label, rep) randomness.
+func TestWorkspaceSweepsMatchLegacy(t *testing.T) {
+	pairs := []struct {
+		name   string
+		legacy Estimator
+		ws     WSEstimator
+	}{
+		{"static-size-2.5hop", StaticSizeEstimator(coverage.Hop25), StaticSizeEstimatorWS(coverage.Hop25)},
+		{"static-size-3hop", StaticSizeEstimator(coverage.Hop3), StaticSizeEstimatorWS(coverage.Hop3)},
+		{"mocds-size", MOCDSSizeEstimator(), MOCDSSizeEstimatorWS()},
+		{"dynamic-fwd-2.5hop", DynamicForwardEstimator(coverage.Hop25), DynamicForwardEstimatorWS(coverage.Hop25)},
+		{"dynamic-fwd-3hop", DynamicForwardEstimator(coverage.Hop3), DynamicForwardEstimatorWS(coverage.Hop3)},
+		{"static-fwd-2.5hop", StaticForwardEstimator(coverage.Hop25), StaticForwardEstimatorWS(coverage.Hop25)},
+		{"mocds-fwd", MOCDSForwardEstimator(), MOCDSForwardEstimatorWS()},
+	}
+	ns := smallNs()
+	for _, p := range pairs {
+		want := sweep(p.name, ns, 6, 33, fastRule(), p.legacy)
+		got := sweepWS(p.name, ns, 6, 33, fastRule(), p.ws)
+		for i := range want.Points {
+			if got.Points[i] != want.Points[i] {
+				t.Errorf("%s: point %d = %+v, legacy %+v", p.name, i, got.Points[i], want.Points[i])
+			}
+		}
+	}
+}

@@ -123,6 +123,37 @@ func NewGrid(bounds Rect, cellSize float64) *Grid {
 	}
 }
 
+// Reset re-shapes g over new bounds and cell size and removes all points,
+// reusing the cell buckets and point storage. A grid owned by a per-worker
+// workspace is Reset once per replicate instead of rebuilt with NewGrid, so
+// steady-state topology sampling allocates nothing.
+func (g *Grid) Reset(bounds Rect, cellSize float64) {
+	if cellSize <= 0 {
+		panic("geom: non-positive grid cell size")
+	}
+	cols := int(math.Ceil(bounds.Width()/cellSize)) + 1
+	rows := int(math.Ceil(bounds.Height()/cellSize)) + 1
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	g.bounds = bounds
+	g.cell = cellSize
+	g.cols = cols
+	g.rows = rows
+	if cap(g.cells) < cols*rows {
+		g.cells = make([][]int, cols*rows)
+	} else {
+		g.cells = g.cells[:cols*rows]
+		for i := range g.cells {
+			g.cells[i] = g.cells[i][:0]
+		}
+	}
+	g.points = g.points[:0]
+}
+
 // cellIndex maps a point to its flattened cell index, clamping points on or
 // outside the boundary into the edge cells.
 func (g *Grid) cellIndex(p Point) int {

@@ -46,6 +46,26 @@ func BitsetFromSet(n int, set map[int]bool) *Bitset {
 // Cap returns the capacity of the universe (n in NewBitset).
 func (b *Bitset) Cap() int { return b.n }
 
+// Reset re-capacities b to the universe 0..n−1 and empties it, reusing the
+// word storage when it suffices. It is the workspace-reuse companion of
+// NewBitset: a bitset owned by a per-worker workspace is Reset at the start
+// of each replicate, so steady-state replicates allocate nothing even when
+// the swept network size changes between calls.
+func (b *Bitset) Reset(n int) {
+	if n < 0 {
+		panic("graph: negative bitset capacity")
+	}
+	words := (n + 63) / 64
+	if cap(b.words) < words {
+		b.words = make([]uint64, words)
+		b.n = n
+		return
+	}
+	b.words = b.words[:words]
+	b.n = n
+	b.Clear()
+}
+
 // Add inserts i into the set.
 func (b *Bitset) Add(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
 

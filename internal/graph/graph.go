@@ -417,7 +417,17 @@ func FromAdjacency(n int, adj [][]int) *Graph {
 	if len(adj) != n {
 		panic(fmt.Sprintf("graph: adjacency for %d nodes, want %d", len(adj), n))
 	}
-	g := New(n)
+	g := &Graph{}
+	g.Renew(adj)
+	return g
+}
+
+// Renew re-initializes g in place around per-node neighbor lists, taking
+// ownership of adj and its backing arrays and applying the same in-place
+// sort and validation as FromAdjacency. It lets a reusable topology
+// workspace rebuild the graph every replicate without allocating.
+func (g *Graph) Renew(adj [][]int) {
+	n := len(adj)
 	degSum := 0
 	for u := range adj {
 		l := adj[u]
@@ -433,14 +443,30 @@ func FromAdjacency(n int, adj [][]int) *Graph {
 				panic(fmt.Sprintf("graph: duplicate edge {%d,%d}", u, v))
 			}
 		}
-		g.adj[u] = l
 		degSum += len(l)
 	}
 	if degSum%2 != 0 {
 		panic("graph: asymmetric adjacency lists")
 	}
+	g.adj = adj
 	g.edges = degSum / 2
-	return g
+}
+
+// RenewSorted re-initializes g in place around adjacency lists the caller
+// guarantees are already strictly ascending, symmetric, self-loop-free and
+// in range — the invariant maintained by the incremental unit-disk edge
+// updater. It skips the per-list sort and validation of FromAdjacency
+// entirely, so an incremental mobility step costs O(changed edges), not
+// O(n·deg). Callers that cannot prove the invariant use Renew instead; the
+// equivalence tests in the topology package check both against the full
+// rebuild.
+func (g *Graph) RenewSorted(adj [][]int) {
+	degSum := 0
+	for u := range adj {
+		degSum += len(adj[u])
+	}
+	g.adj = adj
+	g.edges = degSum / 2
 }
 
 // sortShort sorts an adjacency list, with a straight insertion sort for

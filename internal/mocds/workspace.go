@@ -1,0 +1,76 @@
+package mocds
+
+import (
+	"clustercast/internal/cluster"
+	"clustercast/internal/coverage"
+	"clustercast/internal/graph"
+)
+
+// Workspace owns the scratch one MO_CDS size computation needs, so a
+// worker can evaluate the baseline across replicates without allocating.
+type Workspace struct {
+	nodes graph.Bitset
+	seen2 []uint32 // epoch-stamped: 2-hop clusterhead already connected
+	seen3 []uint32 // epoch-stamped: 3-hop clusterhead already connected
+	epoch uint32
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// SizeFrom returns BuildFrom(b, cl).Size() without materializing the CDS.
+func (ws *Workspace) SizeFrom(b *coverage.Builder, cl *cluster.Clustering) int {
+	return ws.NodesFrom(b, cl).Count()
+}
+
+// NodesFrom computes the MO_CDS membership into a workspace-owned bitset
+// (valid until the next call on the workspace).
+//
+// It relies on the deterministic layout of coverage sets: Conns is
+// ascending by neighbor ID, and each connector's Indirect list keeps the
+// lowest-ID relay per clusterhead. Scanning connectors in order and taking
+// the FIRST sighting of each clusterhead therefore picks exactly the
+// lowest-ID connector (2-hop) and the lexicographically smallest
+// (gateway, relay) pair (3-hop) that BuildFrom's map folding selects.
+func (ws *Workspace) NodesFrom(b *coverage.Builder, cl *cluster.Clustering) *graph.Bitset {
+	if b.Mode() != coverage.Hop3 {
+		panic("mocds: MO_CDS requires a 3-hop coverage builder")
+	}
+	n := b.N()
+	ws.nodes.Reset(n)
+	if cap(ws.seen2) < n {
+		ws.seen2 = make([]uint32, n)
+		ws.seen3 = make([]uint32, n)
+		ws.epoch = 0
+	}
+	ws.seen2 = ws.seen2[:n]
+	ws.seen3 = ws.seen3[:n]
+	for _, h := range cl.Heads {
+		ws.nodes.Add(h)
+		ws.epoch++
+		if ws.epoch == 0 { // wrapped: stale marks could collide, start over
+			clear(ws.seen2)
+			clear(ws.seen3)
+			ws.epoch = 1
+		}
+		ep := ws.epoch
+		cov := b.OfShared(h)
+		for ci := range cov.Conns {
+			cn := &cov.Conns[ci]
+			for _, w := range cn.Direct {
+				if ws.seen2[w] != ep {
+					ws.seen2[w] = ep
+					ws.nodes.Add(cn.V)
+				}
+			}
+			for _, e := range cn.Indirect {
+				if ws.seen3[e.W] != ep {
+					ws.seen3[e.W] = ep
+					ws.nodes.Add(cn.V)
+					ws.nodes.Add(e.R)
+				}
+			}
+		}
+	}
+	return &ws.nodes
+}

@@ -1,0 +1,48 @@
+// Package prof wires the conventional -cpuprofile/-memprofile flags into
+// the repo's commands. Start begins a CPU profile; the returned stop
+// function ends it and writes the heap profile, so a main needs exactly
+// two calls around its workload.
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the two output paths (empty string = off).
+// The returned stop function must run exactly once after the workload: it
+// stops the CPU profile and writes the allocation (heap) profile.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // settle the live heap before snapshotting it
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}

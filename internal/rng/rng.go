@@ -62,13 +62,33 @@ func NewLabeled(seed uint64, label string) *Stream {
 	return &Stream{state: state, inc: inc}
 }
 
+// SeedLabeled reseeds r in place exactly as NewLabeled(seed, label) would
+// seed a fresh stream. It is the allocation-free path for per-worker
+// workspaces that re-derive their replicate stream thousands of times.
+func (r *Stream) SeedLabeled(seed uint64, label string) {
+	s := seed
+	for i := 0; i < len(label); i++ {
+		s = s ^ uint64(label[i])
+		_ = splitmix64(&s)
+	}
+	r.state = splitmix64(&s)
+	r.inc = splitmix64(&s) | 1
+}
+
 // Split returns a new stream whose future output is statistically
 // independent of the receiver's. The receiver advances by two steps.
 func (r *Stream) Split() *Stream {
+	child := &Stream{}
+	r.SplitInto(child)
+	return child
+}
+
+// SplitInto seeds dst as Split would seed a fresh child stream, without
+// allocating. The receiver advances by two steps, exactly as with Split.
+func (r *Stream) SplitInto(dst *Stream) {
 	s := r.next64()
-	state := splitmix64(&s)
-	inc := splitmix64(&s) | 1
-	return &Stream{state: state, inc: inc}
+	dst.state = splitmix64(&s)
+	dst.inc = splitmix64(&s) | 1
 }
 
 // SplitN returns n independent child streams.

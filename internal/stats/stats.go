@@ -303,8 +303,21 @@ func skip(rule StopRule, s *Summary, skips *int) (bool, error) {
 // speculative replicates past the stop point are computed and discarded
 // (at most workers−1).
 func ReplicateN(rule StopRule, workers int, estimator func(rep int) (float64, bool)) (*Summary, error) {
+	return ReplicateNWorker(rule, workers, func(_, rep int) (float64, bool) {
+		return estimator(rep)
+	})
+}
+
+// ReplicateNWorker is ReplicateN for estimators that reuse per-worker
+// state: the estimator additionally receives a stable worker index in
+// [0, workers) — replicate rep always runs on worker rep % workers — so
+// each worker can keep one workspace and the schedule stays deterministic.
+// The sequential path (workers <= 1) always passes worker 0.
+func ReplicateNWorker(rule StopRule, workers int, estimator func(worker, rep int) (float64, bool)) (*Summary, error) {
 	if workers <= 1 {
-		return Replicate(rule, estimator)
+		return Replicate(rule, func(rep int) (float64, bool) {
+			return estimator(0, rep)
+		})
 	}
 	rule = rule.normalized()
 	s := &Summary{}
@@ -323,7 +336,7 @@ func ReplicateN(rule StopRule, workers int, estimator func(rep int) (float64, bo
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				x, ok := estimator(next + i)
+				x, ok := estimator(i, next+i)
 				batch[i] = obs{x, ok}
 			}(i)
 		}

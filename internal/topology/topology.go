@@ -70,92 +70,21 @@ func (c Config) validate() error {
 }
 
 // Generate draws one random network according to the config. With
-// RequireConnected it resamples until connected (up to MaxAttempts).
+// RequireConnected it resamples until connected (up to MaxAttempts). Each
+// call uses a fresh workspace, so the result is independently allocated;
+// hot replicate loops use GenerateWith to reuse one workspace instead.
 func Generate(c Config, r *rng.Stream) (*Network, error) {
-	if err := c.validate(); err != nil {
-		return nil, err
-	}
-	radius := c.radius()
-	attempts := c.MaxAttempts
-	if attempts <= 0 {
-		attempts = 10000
-	}
-	for a := 0; a < attempts; a++ {
-		nw := place(c.N, c.Bounds, radius, r)
-		if !c.RequireConnected || nw.G.Connected() {
-			return nw, nil
-		}
-	}
-	return nil, ErrDisconnected
-}
-
-// place positions n nodes uniformly and builds the unit disk graph via a
-// spatial grid, O(n · avg-degree) instead of O(n²).
-func place(n int, bounds geom.Rect, radius float64, r *rng.Stream) *Network {
-	positions := make([]geom.Point, n)
-	for i := range positions {
-		positions[i] = geom.Point{
-			X: r.Range(bounds.MinX, bounds.MaxX),
-			Y: r.Range(bounds.MinY, bounds.MaxY),
-		}
-	}
-	return &Network{
-		Positions: positions,
-		Radius:    radius,
-		Bounds:    bounds,
-		G:         buildUnitDiskGraph(positions, bounds, radius),
-	}
+	return GenerateWith(c, NewWorkspace(), r)
 }
 
 // buildUnitDiskGraph builds the unit disk graph over the positions with a
 // spatial hash grid: each node's full neighbor list comes straight from one
 // range query into a shared flat buffer, which then becomes the backing
 // array of the adjacency lists (one sort per list) — O(n·deg) time and a
-// constant number of allocations.
+// constant number of allocations. The throwaway workspace keeps the result
+// independently allocated (see Workspace.build for the implementation).
 func buildUnitDiskGraph(positions []geom.Point, bounds geom.Rect, radius float64) *graph.Graph {
-	n := len(positions)
-	if radius < 0 {
-		return graph.New(n)
-	}
-	gridCell := radius
-	if gridCell <= 0 {
-		gridCell = bounds.Width() + bounds.Height() + 1 // degenerate: one big cell
-	}
-	grid := geom.NewGrid(bounds, gridCell)
-	for _, p := range positions {
-		grid.Insert(p)
-	}
-	// One half-neighborhood sweep distance-tests every candidate pair once
-	// (Within-per-node would test each twice). Edges are packed into one
-	// slice sized from the Poisson degree estimate, then the adjacency
-	// lists are assembled count-then-fill into a single backing array.
-	capHint := int(float64(n)*geom.ExpectedDegree(n, bounds.Area(), radius)*0.65) + 2*n
-	edges := make([]uint64, 0, capHint)
-	deg := make([]int, n)
-	grid.Pairs(radius, func(u, v int) {
-		deg[u]++
-		deg[v]++
-		edges = append(edges, uint64(u)<<32|uint64(v))
-	})
-	off := make([]int, n+1)
-	for u := 0; u < n; u++ {
-		off[u+1] = off[u] + deg[u]
-	}
-	backing := make([]int, off[n])
-	cur := deg // reuse as fill cursors
-	copy(cur, off[:n])
-	for _, e := range edges {
-		u, v := int(e>>32), int(e&0xffffffff)
-		backing[cur[u]] = v
-		cur[u]++
-		backing[cur[v]] = u
-		cur[v]++
-	}
-	adj := make([][]int, n)
-	for u := 0; u < n; u++ {
-		adj[u] = backing[off[u]:off[u+1]:off[u+1]]
-	}
-	return graph.FromAdjacency(n, adj)
+	return (&Workspace{}).build(positions, bounds, radius)
 }
 
 // FromPositions builds the unit disk graph induced by explicit positions

@@ -1,0 +1,179 @@
+package topology
+
+import (
+	"sort"
+
+	"clustercast/internal/geom"
+	"clustercast/internal/graph"
+	"clustercast/internal/rng"
+)
+
+// Workspace owns every buffer one replicate pipeline needs to sample a
+// random network: positions, the spatial grid, the packed edge list, the
+// count-then-fill adjacency assembly, the graph itself and the connectivity
+// scratch. A worker reuses one Workspace across all its replicates (and
+// across the connected-rejection attempts inside each), so steady-state
+// topology sampling allocates nothing.
+//
+// The Network returned by GenerateWith is owned by the workspace and valid
+// only until the next GenerateWith call on the same workspace.
+type Workspace struct {
+	positions []geom.Point
+	grid      geom.Grid
+	edges     []uint64
+	deg       []int
+	off       []int
+	backing   []int
+	adj       [][]int
+	scratch   *graph.Scratch
+	g         graph.Graph
+	nw        Network
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace {
+	return &Workspace{scratch: graph.NewScratch(0)}
+}
+
+// GenerateWith draws one random network exactly like Generate — same
+// randomness consumption, same rejection sampling, bit-identical result —
+// but reuses the workspace buffers instead of allocating.
+func GenerateWith(c Config, ws *Workspace, r *rng.Stream) (*Network, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	radius := c.radius()
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = 10000
+	}
+	for a := 0; a < attempts; a++ {
+		nw := ws.place(c.N, c.Bounds, radius, r)
+		if !c.RequireConnected || nw.G.ConnectedWith(ws.scratch) {
+			return nw, nil
+		}
+	}
+	return nil, ErrDisconnected
+}
+
+// place positions n nodes uniformly into the workspace buffers and builds
+// the unit disk graph, mirroring the package-level place.
+func (ws *Workspace) place(n int, bounds geom.Rect, radius float64, r *rng.Stream) *Network {
+	if cap(ws.positions) < n {
+		ws.positions = make([]geom.Point, n)
+	}
+	ws.positions = ws.positions[:n]
+	for i := range ws.positions {
+		ws.positions[i] = geom.Point{
+			X: r.Range(bounds.MinX, bounds.MaxX),
+			Y: r.Range(bounds.MinY, bounds.MaxY),
+		}
+	}
+	ws.nw = Network{
+		Positions: ws.positions,
+		Radius:    radius,
+		Bounds:    bounds,
+		G:         ws.build(ws.positions, bounds, radius),
+	}
+	return &ws.nw
+}
+
+// build constructs the unit disk graph over the positions into the
+// workspace graph, reusing the grid, the packed edge list and the adjacency
+// backing. It is the single implementation behind buildUnitDiskGraph and
+// the zero-allocation replicate path.
+func (ws *Workspace) build(positions []geom.Point, bounds geom.Rect, radius float64) *graph.Graph {
+	n := len(positions)
+	ws.ensureAdj(n)
+	if radius < 0 {
+		for i := range ws.adj {
+			ws.adj[i] = nil
+		}
+		ws.g.Renew(ws.adj)
+		return &ws.g
+	}
+	gridCell := radius
+	if gridCell <= 0 {
+		gridCell = bounds.Width() + bounds.Height() + 1 // degenerate: one big cell
+	}
+	ws.grid.Reset(bounds, gridCell)
+	for _, p := range positions {
+		ws.grid.Insert(p)
+	}
+	// One half-neighborhood sweep distance-tests every candidate pair once;
+	// edges are packed into one slice sized from the Poisson degree
+	// estimate, then the adjacency lists are assembled count-then-fill into
+	// a single backing array.
+	capHint := int(float64(n)*geom.ExpectedDegree(n, bounds.Area(), radius)*0.65) + 2*n
+	if cap(ws.edges) < capHint {
+		ws.edges = make([]uint64, 0, capHint)
+	}
+	edges := ws.edges[:0]
+	deg := ws.deg
+	for i := range deg {
+		deg[i] = 0
+	}
+	ws.grid.Pairs(radius, func(u, v int) {
+		deg[u]++
+		deg[v]++
+		edges = append(edges, uint64(u)<<32|uint64(v))
+	})
+	ws.edges = edges
+	off := ws.off
+	off[0] = 0
+	for u := 0; u < n; u++ {
+		off[u+1] = off[u] + deg[u]
+	}
+	if cap(ws.backing) < off[n] {
+		ws.backing = make([]int, off[n])
+	}
+	backing := ws.backing[:off[n]]
+	cur := deg // reuse as fill cursors
+	copy(cur, off[:n])
+	for _, e := range edges {
+		u, v := int(e>>32), int(e&0xffffffff)
+		backing[cur[u]] = v
+		cur[u]++
+		backing[cur[v]] = u
+		cur[v]++
+	}
+	for u := 0; u < n; u++ {
+		ws.adj[u] = backing[off[u]:off[u+1]:off[u+1]]
+	}
+	ws.g.Renew(ws.adj)
+	return &ws.g
+}
+
+// ensureAdj sizes the per-node slices for n nodes.
+func (ws *Workspace) ensureAdj(n int) {
+	if cap(ws.adj) < n {
+		ws.adj = make([][]int, n)
+	}
+	ws.adj = ws.adj[:n]
+	if cap(ws.deg) < n {
+		ws.deg = make([]int, n)
+	}
+	ws.deg = ws.deg[:n]
+	if cap(ws.off) < n+1 {
+		ws.off = make([]int, n+1)
+	}
+	ws.off = ws.off[:n+1]
+}
+
+// sortShortPos sorts a short neighbor list in place (insertion sort; the
+// generic machinery costs more than it saves at radio-graph degrees).
+func sortShortPos(l []int) {
+	if len(l) > 32 {
+		sort.Ints(l)
+		return
+	}
+	for i := 1; i < len(l); i++ {
+		v := l[i]
+		j := i - 1
+		for j >= 0 && l[j] > v {
+			l[j+1] = l[j]
+			j--
+		}
+		l[j+1] = v
+	}
+}
