@@ -1,9 +1,9 @@
 GO ?= go
 
 # Baseline the bench-compare target diffs against.
-BENCH_BASELINE ?= BENCH_PR2.json
+BENCH_BASELINE ?= BENCH_PR3.json
 
-.PHONY: all ci build vet test test-race bench-smoke bench bench-compare figures
+.PHONY: all ci build vet test test-race bench-smoke bench bench-compare bench-scale figures
 
 all: vet test
 
@@ -30,9 +30,17 @@ bench-smoke:
 	$(GO) test -run xxx -bench 'SweepPoint|TopologyGenerate|CoverageBuilder|StaticBackbone|DynamicBroadcast|BitsetOps' -benchtime 1s .
 
 # Re-run the baselined benchmarks and diff ns/op + allocs/op against
-# $(BENCH_BASELINE), warning on regressions beyond 10%.
+# $(BENCH_BASELINE), warning on regressions beyond 10%. -short keeps the
+# gate quick by skipping the n=50000 scale points; run `make bench-scale`
+# for the full curves benchcmp renders per network size.
 bench-compare:
-	$(GO) test -run xxx -bench 'SweepPoint|MobilityStep|TopologyGenerate|CoverageBuilder|StaticBackbone|DynamicBroadcast|ConstructionThroughput|BitsetOps' -benchtime 1s . \
+	$(GO) test -short -run xxx -bench 'SweepPoint|MobilityStep|TopologyGenerate|CoverageBuilder|StaticBackbone|DynamicBroadcast|ConstructionThroughput|BitsetOps|BitsetReset|ScaleReplicate|ScaleKernels' -benchtime 1s . \
+		| $(GO) run ./cmd/benchcmp -baseline $(BENCH_BASELINE) -threshold 0.10
+
+# Full scaling curves (n=1000..50000, several minutes), diffed by network
+# size against $(BENCH_BASELINE).
+bench-scale:
+	$(GO) test -run xxx -bench 'ScaleReplicate|ScaleKernels' -benchtime 10x . \
 		| $(GO) run ./cmd/benchcmp -baseline $(BENCH_BASELINE) -threshold 0.10
 
 # Full benchmark suite (several minutes).

@@ -578,6 +578,102 @@ func BenchmarkScale(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleReplicate measures ONE full replicate of each figure
+// pipeline at sizes two to three orders of magnitude beyond the paper's
+// sweep (n = 1k, 10k, 50k at the paper's dense degree d=18): connected
+// topology sampling, lowest-ID clustering, coverage digestion, and the
+// respective backbone construction, all through the production workspace
+// path. At these sizes a single replicate — not the replicate count —
+// dominates wall-clock, so this is the scaling curve BENCH_PR3.json
+// publishes. Run `go test -run xxx -bench ScaleReplicate -benchtime 1x`
+// for a quick curve; n=50000 is skipped under -short.
+func BenchmarkScaleReplicate(b *testing.B) {
+	stages := []struct {
+		name string
+		est  experiment.WSEstimator
+	}{
+		{"static25", experiment.StaticSizeEstimatorWS(coverage.Hop25)},
+		{"mocds", experiment.MOCDSSizeEstimatorWS()},
+		{"dynamic25", experiment.DynamicForwardEstimatorWS(coverage.Hop25)},
+	}
+	for _, n := range []int{1000, 10000, 50000} {
+		for _, st := range stages {
+			b.Run(fmt.Sprintf("n=%d/%s", n, st.name), func(b *testing.B) {
+				if testing.Short() && n > 10000 {
+					b.Skip("n=50000 replicates take seconds; skipped under -short")
+				}
+				ws := experiment.NewWorkspace()
+				sc := experiment.DefaultScenario(n, 18, 2003)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					v, ok := st.est(ws, sc, i)
+					if !ok {
+						b.Fatal("replicate skipped: no connected topology sampled")
+					}
+					if v <= 0 {
+						b.Fatalf("implausible measurement %v", v)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkScaleKernels isolates the backbone-construction kernels the
+// sparse/hybrid set representations target: the topology is sampled ONCE
+// outside the timer, and each iteration re-runs clusterhead election,
+// coverage digestion and the stage's selection (or broadcast) over the
+// workspace path. This is the apples-to-apples "dense-kernel baseline"
+// comparison for BENCH_PR3.json — topology sampling is geometry, not set
+// algebra, and is identical on both sides.
+func BenchmarkScaleKernels(b *testing.B) {
+	type stage struct {
+		name string
+		run  func(ws *experiment.Workspace, nw *topology.Network, source int) float64
+	}
+	stages := []stage{
+		{"static25", func(ws *experiment.Workspace, nw *topology.Network, _ int) float64 {
+			cl := ws.Cluster.LowestID(nw.G)
+			ws.Builder.Reset(nw.G, cl, coverage.Hop25)
+			return float64(ws.Backbone.StaticSize(&ws.Builder, cl, backbone.Options{}))
+		}},
+		{"mocds", func(ws *experiment.Workspace, nw *topology.Network, _ int) float64 {
+			cl := ws.Cluster.LowestID(nw.G)
+			ws.Builder.Reset(nw.G, cl, coverage.Hop3)
+			return float64(ws.MOCDS.SizeFrom(&ws.Builder, cl))
+		}},
+		{"dynamic25", func(ws *experiment.Workspace, nw *topology.Network, source int) float64 {
+			cl := ws.Cluster.LowestID(nw.G)
+			p := ws.Dynamic.NewWith(nw.G, cl, coverage.Hop25)
+			return float64(p.BroadcastWS(source).ForwardCount())
+		}},
+	}
+	for _, n := range []int{1000, 10000, 50000} {
+		for _, st := range stages {
+			b.Run(fmt.Sprintf("n=%d/%s", n, st.name), func(b *testing.B) {
+				if testing.Short() && n > 10000 {
+					b.Skip("n=50000 kernels take seconds; skipped under -short")
+				}
+				ws := experiment.NewWorkspace()
+				sc := experiment.DefaultScenario(n, 18, 2003)
+				nw, _, ok := sc.SampleWS(ws, "scale-kernels", 0)
+				if !ok {
+					b.Fatal("no connected topology sampled")
+				}
+				source := n / 2
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if v := st.run(ws, nw, source); v <= 0 {
+						b.Fatalf("implausible measurement %v", v)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkElection regenerates ABL-ELECTION: backbone size under the two
 // clusterhead election rules.
 func BenchmarkElection(b *testing.B) {
@@ -761,4 +857,35 @@ func BenchmarkBitsetOps(b *testing.B) {
 		}
 		_ = sum
 	})
+}
+
+// BenchmarkBitsetReset is the regression guard for the high-water-mark
+// Reset: clearing a bitset costs O(words up to the highest word touched
+// since the last clear), not Θ(capacity/64), and never allocates. The
+// members are confined to the low 4096 IDs, so ns/op must stay flat as the
+// capacity grows 10000× — a capacity-proportional clear would blow the
+// n=1M case up by three orders of magnitude.
+func BenchmarkBitsetReset(b *testing.B) {
+	for _, n := range []int{100, 100000, 1 << 20} {
+		b.Run(fmt.Sprintf("n=%d/touched=64", n), func(b *testing.B) {
+			x := graph.NewBitset(n)
+			r := rng.New(11)
+			lim := 4096
+			if lim > n {
+				lim = n
+			}
+			ids := make([]int, 64)
+			for i := range ids {
+				ids[i] = r.Intn(lim)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, v := range ids {
+					x.Add(v)
+				}
+				x.Reset(n)
+			}
+		})
+	}
 }

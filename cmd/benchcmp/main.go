@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -128,6 +129,82 @@ func compare(w io.Writer, baseline []baselineEntry, got map[string]measurement, 
 	return regressions
 }
 
+// scaleName matches the scaling benchmarks' "Benchmark<Family>/n=<N>/<stage>"
+// naming, capturing family, network size, and stage.
+var scaleName = regexp.MustCompile(`^Benchmark(Scale\w+)/n=(\d+)/(.+)$`)
+
+// scaleCurves prints, for every Scale* benchmark family and stage seen in
+// the baseline or the current run, the ns/op scaling curve by network size
+// n — baseline vs now, with the speedup factor per point. This is the view
+// that makes size-dependent regressions visible: a kernel can hold its
+// n=1000 number while quietly going superlinear at n=50000.
+func scaleCurves(w io.Writer, baseline []baselineEntry, got map[string]measurement) {
+	type point struct {
+		base, now float64
+		hasBase   bool
+		hasNow    bool
+	}
+	curves := map[string]map[int]*point{} // "ScaleKernels/static25" -> n -> point
+	at := func(curve string, n int) *point {
+		if curves[curve] == nil {
+			curves[curve] = map[int]*point{}
+		}
+		if curves[curve][n] == nil {
+			curves[curve][n] = &point{}
+		}
+		return curves[curve][n]
+	}
+	for _, e := range baseline {
+		if e.AfterNsOp == nil {
+			continue
+		}
+		if m := scaleName.FindStringSubmatch(e.Name); m != nil {
+			n, _ := strconv.Atoi(m[2])
+			p := at(m[1]+"/"+m[3], n)
+			p.base, p.hasBase = *e.AfterNsOp, true
+		}
+	}
+	for name, meas := range got {
+		if !meas.hasNs {
+			continue
+		}
+		if m := scaleName.FindStringSubmatch(name); m != nil {
+			n, _ := strconv.Atoi(m[2])
+			p := at(m[1]+"/"+m[3], n)
+			p.now, p.hasNow = meas.nsOp, true
+		}
+	}
+	if len(curves) == 0 {
+		return
+	}
+	names := make([]string, 0, len(curves))
+	for name := range curves {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "\nscaling curves (ns/op by n):\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "%s:\n", name)
+		ns := make([]int, 0, len(curves[name]))
+		for n := range curves[name] {
+			ns = append(ns, n)
+		}
+		sort.Ints(ns)
+		for _, n := range ns {
+			p := curves[name][n]
+			switch {
+			case p.hasBase && p.hasNow:
+				fmt.Fprintf(w, "  n=%-8d baseline %14.0f  now %14.0f  (%.2fx)\n",
+					n, p.base, p.now, p.base/p.now)
+			case p.hasNow:
+				fmt.Fprintf(w, "  n=%-8d baseline %14s  now %14.0f\n", n, "-", p.now)
+			default:
+				fmt.Fprintf(w, "  n=%-8d baseline %14.0f  now %14s\n", n, p.base, "(not measured)")
+			}
+		}
+	}
+}
+
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
 	baselinePath := fs.String("baseline", "BENCH_PR2.json", "baseline JSON file to compare against")
@@ -164,6 +241,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	n := compare(stdout, bf.entries(), got, *threshold)
+	scaleCurves(stdout, bf.entries(), got)
 	if n > 0 {
 		fmt.Fprintf(stdout, "\n%d benchmark(s) regressed more than %.0f%% vs %s\n", n, *threshold*100, *baselinePath)
 		if *strict {

@@ -61,6 +61,45 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 }
 
+func TestScaleCurvesGroupByN(t *testing.T) {
+	baseline := []baselineEntry{
+		{Name: "BenchmarkScaleKernels/n=1000/dynamic25", AfterNsOp: f(1200000)},
+		{Name: "BenchmarkScaleKernels/n=10000/dynamic25", AfterNsOp: f(18000000)},
+		{Name: "BenchmarkScaleKernels/n=50000/dynamic25", AfterNsOp: f(220000000)},
+		{Name: "BenchmarkSweepPoint", AfterNsOp: f(2500000)}, // non-scale: excluded
+	}
+	run := `BenchmarkScaleKernels/n=1000/dynamic25     10   900000 ns/op
+BenchmarkScaleKernels/n=10000/dynamic25    10  9000000 ns/op
+BenchmarkScaleKernels/n=100000/dynamic25   10  99000000 ns/op
+PASS
+`
+	got, err := parseBench(strings.NewReader(run))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	scaleCurves(&out, baseline, got)
+	text := out.String()
+	if !strings.Contains(text, "ScaleKernels/dynamic25:") {
+		t.Fatalf("curve header missing:\n%s", text)
+	}
+	// Points sorted by n, with the speedup factor where both sides exist.
+	i1, i10, i50, i100 := strings.Index(text, "n=1000 "), strings.Index(text, "n=10000 "),
+		strings.Index(text, "n=50000 "), strings.Index(text, "n=100000 ")
+	if i1 < 0 || i10 < 0 || i50 < 0 || i100 < 0 || !(i1 < i10 && i10 < i50 && i50 < i100) {
+		t.Fatalf("points missing or out of order (%d %d %d %d):\n%s", i1, i10, i50, i100, text)
+	}
+	if !strings.Contains(text, "(2.00x)") {
+		t.Fatalf("2x speedup at n=10000 not reported:\n%s", text)
+	}
+	if !strings.Contains(text, "(not measured)") {
+		t.Fatalf("baseline-only n=50000 point must say not measured:\n%s", text)
+	}
+	if strings.Contains(text, "SweepPoint") {
+		t.Fatalf("non-scale benchmark leaked into curves:\n%s", text)
+	}
+}
+
 func TestCompareWithinNoise(t *testing.T) {
 	baseline := []baselineEntry{
 		{Name: "BenchmarkSweepPoint", AfterNsOp: f(2767097), AfterAllocs: f(3)},

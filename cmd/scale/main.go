@@ -1,0 +1,151 @@
+// Command scale drives the backbone kernels at 10k–100k-node topologies —
+// the scale-out regime two to three orders of magnitude past the paper's
+// n≤500 sweeps — and reports per-replicate wall-clock and memory, so the
+// scaling curves in BENCH_PR3.json can be reproduced (and profiled) outside
+// the Go benchmark harness.
+//
+// Each replicate samples a connected unit-disk topology through the
+// workspace path, then runs the requested stages: static25 (2.5-hop static
+// backbone size), mocds (MO_CDS baseline size), dynamic25 (one dynamic-
+// backbone broadcast, forward-node count). With -workers > 1 the static25
+// and mocds constructions shard their per-clusterhead selections across
+// that many goroutines (bit-identical to the sequential path; see
+// backbone.ParallelWorkspace).
+//
+//	scale -n 50000 -d 18 -seed 2003 -reps 3 -workers 4
+//	scale -n 10000 -stages dynamic25 -cpuprofile cpu.pprof -memprofile mem.pprof
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"clustercast/internal/backbone"
+	"clustercast/internal/coverage"
+	"clustercast/internal/experiment"
+	"clustercast/internal/mocds"
+	"clustercast/internal/prof"
+	"clustercast/internal/topology"
+)
+
+type config struct {
+	n       int
+	d       float64
+	seed    uint64
+	reps    int
+	workers int
+	stages  string
+	cpuProf string
+	memProf string
+}
+
+func main() {
+	var cfg config
+	flag.IntVar(&cfg.n, "n", 10000, "number of nodes")
+	flag.Float64Var(&cfg.d, "d", 18, "target average degree")
+	flag.Uint64Var(&cfg.seed, "seed", 2003, "base RNG seed")
+	flag.IntVar(&cfg.reps, "reps", 3, "replicates per stage")
+	flag.IntVar(&cfg.workers, "workers", 1, "selection shards for static25/mocds (1 = sequential)")
+	flag.StringVar(&cfg.stages, "stages", "static25,mocds,dynamic25", "comma-separated stages to run")
+	flag.StringVar(&cfg.cpuProf, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&cfg.memProf, "memprofile", "", "write a heap profile to this file")
+	flag.Parse()
+
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "scale: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// stageFunc runs one kernel over an already-sampled network and returns its
+// headline measurement (backbone size or forward-node count).
+type stageFunc func(ws *experiment.Workspace, nw *topology.Network, source int) float64
+
+func stageSet(workers int) map[string]stageFunc {
+	pbb := backbone.NewParallelWorkspace()
+	pmo := mocds.NewParallelWorkspace()
+	return map[string]stageFunc{
+		"static25": func(ws *experiment.Workspace, nw *topology.Network, _ int) float64 {
+			cl := ws.Cluster.LowestID(nw.G)
+			ws.Builder.Reset(nw.G, cl, coverage.Hop25)
+			if workers > 1 {
+				return float64(pbb.StaticSize(&ws.Builder, cl, backbone.Options{}, workers))
+			}
+			return float64(ws.Backbone.StaticSize(&ws.Builder, cl, backbone.Options{}))
+		},
+		"mocds": func(ws *experiment.Workspace, nw *topology.Network, _ int) float64 {
+			cl := ws.Cluster.LowestID(nw.G)
+			ws.Builder.Reset(nw.G, cl, coverage.Hop3)
+			if workers > 1 {
+				return float64(pmo.SizeFrom(&ws.Builder, cl, workers))
+			}
+			return float64(ws.MOCDS.SizeFrom(&ws.Builder, cl))
+		},
+		"dynamic25": func(ws *experiment.Workspace, nw *topology.Network, source int) float64 {
+			cl := ws.Cluster.LowestID(nw.G)
+			p := ws.Dynamic.NewWith(nw.G, cl, coverage.Hop25)
+			return float64(p.BroadcastWS(source).ForwardCount())
+		},
+	}
+}
+
+func run(cfg config, out *os.File) error {
+	stages := stageSet(cfg.workers)
+	var names []string
+	for _, s := range strings.Split(cfg.stages, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if _, ok := stages[s]; !ok {
+			return fmt.Errorf("unknown stage %q (have static25, mocds, dynamic25)", s)
+		}
+		names = append(names, s)
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no stages selected")
+	}
+
+	stopProf, err := prof.Start(cfg.cpuProf, cfg.memProf)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "scale: n=%d d=%g seed=%d reps=%d workers=%d (GOMAXPROCS=%d)\n",
+		cfg.n, cfg.d, cfg.seed, cfg.reps, cfg.workers, runtime.GOMAXPROCS(0))
+	ws := experiment.NewWorkspace()
+	sc := experiment.DefaultScenario(cfg.n, cfg.d, cfg.seed)
+	for _, name := range names {
+		st := stages[name]
+		kernelTimes := make([]time.Duration, 0, cfg.reps)
+		for rep := 0; rep < cfg.reps; rep++ {
+			t0 := time.Now()
+			nw, _, ok := sc.SampleWS(ws, "scale-"+name, rep)
+			if !ok {
+				return fmt.Errorf("stage %s rep %d: no connected topology sampled (raise -d or lower -n)", name, rep)
+			}
+			sample := time.Since(t0)
+			t1 := time.Now()
+			v := st(ws, nw, cfg.n/2)
+			kernel := time.Since(t1)
+			kernelTimes = append(kernelTimes, kernel)
+			fmt.Fprintf(out, "%-10s rep=%d  sample=%-12v kernel=%-12v result=%g\n",
+				name, rep, sample.Round(time.Microsecond), kernel.Round(time.Microsecond), v)
+		}
+		sort.Slice(kernelTimes, func(i, j int) bool { return kernelTimes[i] < kernelTimes[j] })
+		fmt.Fprintf(out, "%-10s median kernel %v over %d reps\n",
+			name, kernelTimes[len(kernelTimes)/2].Round(time.Microsecond), len(kernelTimes))
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(out, "memory: heap-in-use=%.1f MiB  total-alloc=%.1f MiB  sys=%.1f MiB\n",
+		float64(ms.HeapInuse)/(1<<20), float64(ms.TotalAlloc)/(1<<20), float64(ms.Sys)/(1<<20))
+
+	return stopProf()
+}

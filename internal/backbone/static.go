@@ -13,6 +13,7 @@ package backbone
 
 import (
 	"fmt"
+	"sort"
 
 	"clustercast/internal/cluster"
 	"clustercast/internal/coverage"
@@ -57,31 +58,96 @@ func SelectGateways(cov *coverage.Coverage, need2, need3 *graph.Bitset) Selectio
 // SelectGatewaysOpt is SelectGateways with explicit Options.
 func SelectGatewaysOpt(cov *coverage.Coverage, need2, need3 *graph.Bitset, opts Options) Selection {
 	n := cov.C2.Cap()
-	var c2, c3 graph.Bitset
+	var scr selScratch
+	var hn2, hn3 *graph.HybridSet
+	if need2 != nil {
+		hn2 = graph.NewHybridSet(n)
+		hn2.CopyBitset(need2)
+	}
+	if need3 != nil {
+		hn3 = graph.NewHybridSet(n)
+		hn3.CopyBitset(need3)
+	}
+	sel := selectCore(cov, hn2, hn3, opts, &scr)
+	gws := append([]int(nil), sel...)
+	sort.Ints(gws)
+	// Every target is connected by the time both phases drain, so the
+	// covered set is exactly the initial target lists.
 	covered := graph.NewBitset(n)
-	selected := graph.NewBitset(n)
-	selectCore(cov, need2, need3, opts, &c2, &c3, covered, selected)
-	return Selection{Head: cov.Head, Covered: covered, Gateways: selected.Members()}
+	for _, w := range scr.c2buf {
+		covered.Add(w)
+	}
+	for _, w := range scr.c3buf {
+		covered.Add(w)
+	}
+	return Selection{Head: cov.Head, Covered: covered, Gateways: gws}
 }
 
-// selectCore is the greedy selection over caller-provided bitsets: covered
-// receives the clusterheads the selection connects to, selected the chosen
-// gateway/relay nodes; c2 and c3 are scratch. All four are reset, so a
-// per-worker workspace can run the selection allocation-free.
-func selectCore(cov *coverage.Coverage, need2, need3 *graph.Bitset, opts Options, c2, c3, covered, selected *graph.Bitset) {
+// selScratch is the bookkeeping of one greedy selection: an epoch-stamped
+// mark array (mark[w] == e2 ⇒ w is an uncovered C² target, == e3 ⇒
+// uncovered C³ target, == esel ⇒ already-selected gateway/relay; targets
+// are clusterheads and selections are non-clusterheads, so one array
+// serves all three) plus the initial target lists in ascending order and
+// the selection output list. Marks give the gain loops and the phase-2
+// cost probes O(1) lookups — the selection's inner loops — while the epoch
+// bump makes per-head clearing free: nothing here is Θ(n) per head.
+type selScratch struct {
+	mark   []uint32
+	epoch  uint32
+	c2buf  []int
+	c3buf  []int
+	selbuf []int
+}
+
+// selectCore is the greedy selection over caller-provided scratch. It
+// returns the selected gateway/relay nodes in selection order (owned by
+// scr, valid until its next use); after it returns, scr.c2buf/scr.c3buf
+// hold the targets the selection connects (all of them — both phases run
+// until their remainder drains).
+func selectCore(cov *coverage.Coverage, need2, need3 *graph.HybridSet, opts Options, scr *selScratch) []int {
 	n := cov.C2.Cap()
-	c2.Reset(n)
-	c2.Or(cov.C2)
-	if need2 != nil {
-		c2.And(need2)
+	if cap(scr.mark) < n {
+		scr.mark = make([]uint32, n)
+		scr.epoch = 0
 	}
-	c3.Reset(n)
-	c3.Or(cov.C3)
-	if need3 != nil {
-		c3.And(need3)
+	scr.mark = scr.mark[:n]
+	if scr.epoch > ^uint32(0)-3 { // wrap: flush stale stamps
+		full := scr.mark[:cap(scr.mark)]
+		for i := range full {
+			full[i] = 0
+		}
+		scr.epoch = 0
 	}
-	covered.Reset(n)
-	selected.Reset(n)
+	e2, e3, esel := scr.epoch+1, scr.epoch+2, scr.epoch+3
+	scr.epoch += 3
+	mark := scr.mark
+	rem2, rem3 := 0, 0
+	c2buf := scr.c2buf[:0]
+	cov.C2.ForEach(func(w int) {
+		if need2 != nil && !need2.Has(w) {
+			return
+		}
+		mark[w] = e2
+		rem2++
+		c2buf = append(c2buf, w)
+	})
+	c3buf := scr.c3buf[:0]
+	cov.C3.ForEach(func(w int) {
+		if need3 != nil && !need3.Has(w) {
+			return
+		}
+		mark[w] = e3
+		rem3++
+		c3buf = append(c3buf, w)
+	})
+	scr.c2buf, scr.c3buf = c2buf, c3buf
+	sel := scr.selbuf[:0]
+	add := func(v int) {
+		if mark[v] != esel {
+			mark[v] = esel
+			sel = append(sel, v)
+		}
+	}
 
 	// Candidate connectors come pre-sorted by neighbor ID, so ascending
 	// scans give the paper's deterministic lowest-ID tie-breaking for free.
@@ -90,7 +156,7 @@ func selectCore(cov *coverage.Coverage, need2, need3 *graph.Bitset, opts Options
 	directGain := func(cn *coverage.Connector) int {
 		n := 0
 		for _, w := range cn.Direct {
-			if c2.Has(w) {
+			if mark[w] == e2 {
 				n++
 			}
 		}
@@ -99,7 +165,7 @@ func selectCore(cov *coverage.Coverage, need2, need3 *graph.Bitset, opts Options
 	indirectGain := func(cn *coverage.Connector) int {
 		n := 0
 		for _, e := range cn.Indirect {
-			if c3.Has(e.W) {
+			if mark[e.W] == e3 {
 				n++
 			}
 		}
@@ -107,24 +173,24 @@ func selectCore(cov *coverage.Coverage, need2, need3 *graph.Bitset, opts Options
 	}
 
 	take := func(cn *coverage.Connector) {
-		selected.Add(cn.V)
+		add(cn.V)
 		for _, w := range cn.Direct {
-			if c2.Has(w) {
-				c2.Remove(w)
-				covered.Add(w)
+			if mark[w] == e2 {
+				mark[w] = 0
+				rem2--
 			}
 		}
 		for _, e := range cn.Indirect {
-			if c3.Has(e.W) {
-				c3.Remove(e.W)
-				covered.Add(e.W)
-				selected.Add(e.R)
+			if mark[e.W] == e3 {
+				mark[e.W] = 0
+				rem3--
+				add(e.R)
 			}
 		}
 	}
 
 	// Phase 1: greedily exhaust C².
-	for c2.Any() {
+	for rem2 > 0 {
 		var best *coverage.Connector
 		bestD, bestI := 0, 0
 		for i := range conns {
@@ -144,16 +210,27 @@ func selectCore(cov *coverage.Coverage, need2, need3 *graph.Bitset, opts Options
 		if best == nil {
 			// Unreachable on a valid coverage set: every w ∈ C² is in some
 			// neighbor's Direct list by construction.
-			panic(fmt.Sprintf("backbone: head %d cannot cover %v", cov.Head, c2.Members()))
+			left := make([]int, 0, rem2)
+			for _, w := range c2buf {
+				if mark[w] == e2 {
+					left = append(left, w)
+				}
+			}
+			panic(fmt.Sprintf("backbone: head %d cannot cover %v", cov.Head, left))
 		}
 		take(best)
 	}
 
 	// Phase 2: connect the leftover 3-hop clusterheads with pairs,
-	// preferring pairs that reuse already-selected nodes.
-	for c3.Any() {
-		// Deterministic order: smallest remaining target first.
-		w := c3.Min()
+	// preferring pairs that reuse already-selected nodes. Targets are
+	// consumed smallest-first (deterministic order); c3buf is ascending and
+	// removals never re-add, so a lazy-deletion pointer walk serves Min.
+	mi := 0
+	for rem3 > 0 {
+		for mark[c3buf[mi]] != e3 {
+			mi++
+		}
+		w := c3buf[mi]
 		bestV, bestR, bestCost := -1, -1, 3
 		for i := range conns {
 			cn := &conns[i]
@@ -162,10 +239,10 @@ func selectCore(cov *coverage.Coverage, need2, need3 *graph.Bitset, opts Options
 				continue
 			}
 			cost := 0
-			if !selected.Has(cn.V) {
+			if mark[cn.V] != esel {
 				cost++
 			}
-			if !selected.Has(r) {
+			if mark[r] != esel {
 				cost++
 			}
 			if cost < bestCost || (cost == bestCost && (bestV == -1 || cn.V < bestV)) {
@@ -175,11 +252,13 @@ func selectCore(cov *coverage.Coverage, need2, need3 *graph.Bitset, opts Options
 		if bestV == -1 {
 			panic(fmt.Sprintf("backbone: head %d cannot reach 3-hop clusterhead %d", cov.Head, w))
 		}
-		selected.Add(bestV)
-		selected.Add(bestR)
-		c3.Remove(w)
-		covered.Add(w)
+		add(bestV)
+		add(bestR)
+		mark[w] = 0
+		rem3--
 	}
+	scr.selbuf = sel[:0]
+	return sel
 }
 
 // Static is the assembled static backbone (cluster-based SI-CDS).

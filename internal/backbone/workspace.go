@@ -10,11 +10,8 @@ import (
 // worker can compute backbone sizes and node sets across replicates
 // without allocating.
 type Workspace struct {
-	c2       graph.Bitset
-	c3       graph.Bitset
-	covered  graph.Bitset
-	selected graph.Bitset
-	nodes    graph.Bitset
+	scr   selScratch
+	nodes graph.Bitset
 }
 
 // NewWorkspace returns an empty workspace; bitsets grow on first use.
@@ -30,8 +27,12 @@ func (ws *Workspace) StaticSize(b *coverage.Builder, cl *cluster.Clustering, opt
 // SelectInto runs the greedy gateway selection of SelectGatewaysOpt and
 // fills dst with the selected nodes, using workspace scratch instead of
 // allocating a Selection. dst is reset.
-func (ws *Workspace) SelectInto(cov *coverage.Coverage, need2, need3 *graph.Bitset, opts Options, dst *graph.Bitset) {
-	selectCore(cov, need2, need3, opts, &ws.c2, &ws.c3, &ws.covered, dst)
+func (ws *Workspace) SelectInto(cov *coverage.Coverage, need2, need3 *graph.HybridSet, opts Options, dst *graph.HybridSet) {
+	sel := selectCore(cov, need2, need3, opts, &ws.scr)
+	dst.Reset(cov.C2.Cap())
+	for _, v := range sel {
+		dst.Add(v)
+	}
 }
 
 // StaticNodes computes the static backbone membership (all clusterheads
@@ -42,8 +43,9 @@ func (ws *Workspace) StaticNodes(b *coverage.Builder, cl *cluster.Clustering, op
 	for _, h := range cl.Heads {
 		ws.nodes.Add(h)
 		cov := b.OfShared(h)
-		selectCore(cov, nil, nil, opts, &ws.c2, &ws.c3, &ws.covered, &ws.selected)
-		ws.nodes.Or(&ws.selected)
+		for _, v := range selectCore(cov, nil, nil, opts, &ws.scr) {
+			ws.nodes.Add(v)
+		}
 	}
 	return &ws.nodes
 }

@@ -24,7 +24,6 @@ import (
 	"strings"
 
 	"clustercast/internal/graph"
-	"clustercast/internal/rng"
 )
 
 // Packet is the protocol-specific payload piggybacked on a transmission.
@@ -128,66 +127,13 @@ func Run(g *graph.Graph, source int, p Protocol) *Result {
 	return RunOpts(g, source, p, Options{})
 }
 
-// RunOpts is Run with an explicit radio model.
+// RunOpts is Run with an explicit radio model. It delegates to the dense
+// workspace engine (see Workspace.RunOpts) and materializes the map-based
+// Result; hot paths that run many broadcasts hold a Workspace instead and
+// skip the materialization.
 func RunOpts(g *graph.Graph, source int, p Protocol, opt Options) *Result {
-	res := &Result{
-		Source:     source,
-		Forwarders: make(map[int]bool),
-		Received:   make(map[int]bool),
-		Parent:     make(map[int]int),
-	}
-	res.Received[source] = true
-	res.Forwarders[source] = true
-	// acted[v] records the payloads v has already relayed (or originated),
-	// so a payload loops through each node at most once.
-	acted := make(map[int]map[Packet]bool)
-	mark := func(v int, pkt Packet) {
-		m := acted[v]
-		if m == nil {
-			m = make(map[Packet]bool)
-			acted[v] = m
-		}
-		m[pkt] = true
-	}
-	var loss *rng.Stream
-	if opt.Loss > 0 {
-		loss = rng.NewLabeled(opt.Seed, "radio-loss")
-	}
-	start := p.Start(source)
-	mark(source, start)
-	queue := []transmission{{sender: source, pkt: start, time: 0}}
-	for len(queue) > 0 {
-		tx := queue[0]
-		queue = queue[1:]
-		for _, v := range g.Neighbors(tx.sender) {
-			if loss != nil && loss.Bool(opt.Loss) {
-				continue // this copy was lost on the air
-			}
-			var forward bool
-			var out Packet
-			if !res.Received[v] {
-				res.Received[v] = true
-				res.Parent[v] = tx.sender
-				if tx.time+1 > res.Latency {
-					res.Latency = tx.time + 1
-				}
-				forward, out = p.OnReceive(v, tx.sender, tx.pkt)
-			} else {
-				res.Duplicates++
-				if acted[v][tx.pkt] {
-					continue
-				}
-				forward, out = p.OnDuplicate(v, tx.sender, tx.pkt)
-			}
-			if forward {
-				res.Forwarders[v] = true
-				mark(v, tx.pkt)
-				mark(v, out)
-				queue = append(queue, transmission{sender: v, pkt: out, time: tx.time + 1})
-			}
-		}
-	}
-	return res
+	var ws Workspace
+	return ws.RunOpts(g, source, p, opt).Materialize()
 }
 
 // NoDuplicates is a mixin for protocols that never act on duplicate

@@ -14,6 +14,7 @@ type Workspace struct {
 	headOf   []int
 	rank     []int
 	tie      []int
+	active   []int
 	declared []int
 	counts   []int
 	backing  []int
@@ -38,6 +39,7 @@ func (ws *Workspace) ensure(n int) {
 		ws.counts = make([]int, n)
 		ws.backing = make([]int, n)
 		ws.pos = make([]int, n)
+		ws.active = make([]int, 0, n)
 	}
 	ws.state = ws.state[:n]
 	ws.headOf = ws.headOf[:n]
@@ -81,15 +83,24 @@ func (ws *Workspace) Elect(g *graph.Graph, prio Priority) *Clustering {
 		return tie[a] < tie[b]
 	}
 
+	// The rounds iterate an explicit active-candidate list instead of
+	// re-scanning all n nodes: every node starts active, decided nodes are
+	// compacted out in place (preserving ascending order), and late rounds
+	// touch only the shrinking frontier. Decisions are identical to the
+	// full-scan election: phase-1 declarations read only the batched state
+	// array, and phase 2 reads only head states, so membership of the
+	// active list never changes an outcome — only how fast we skip nodes
+	// that can no longer act.
+	active := ws.active[:0]
+	for v := 0; v < n; v++ {
+		active = append(active, v)
+	}
 	declared := ws.declared[:0]
 	for remaining > 0 {
 		rounds++
 		// Phase 1: simultaneous declarations.
 		declared = declared[:0]
-		for v := 0; v < n; v++ {
-			if state[v] != candidate {
-				continue
-			}
+		for _, v := range active {
 			wins := true
 			for _, u := range g.Neighbors(v) {
 				if state[u] == candidate && better(u, v) {
@@ -111,10 +122,12 @@ func (ws *Workspace) Elect(g *graph.Graph, prio Priority) *Clustering {
 			headOf[v] = v
 			remaining--
 		}
-		// Phase 2: candidates adjacent to a head join the best one.
-		for v := 0; v < n; v++ {
+		// Phase 2: candidates adjacent to a head join the best one; nodes
+		// still undecided stay on the active list for the next round.
+		out := active[:0]
+		for _, v := range active {
 			if state[v] != candidate {
-				continue
+				continue // declared head this round
 			}
 			best := -1
 			for _, u := range g.Neighbors(v) {
@@ -126,9 +139,13 @@ func (ws *Workspace) Elect(g *graph.Graph, prio Priority) *Clustering {
 				state[v] = member
 				headOf[v] = best
 				remaining--
+				continue
 			}
+			out = append(out, v)
 		}
+		active = out
 	}
+	ws.active = active[:0]
 	ws.declared = declared
 
 	// Assemble the membership lists count-then-fill into one backing array,

@@ -21,10 +21,12 @@
 // covers which 2-hop clusterheads (w ∈ CH_HOP1(v)) and which (v, r) pair
 // reaches which 3-hop clusterhead (w[r] ∈ CH_HOP2(v)).
 //
-// Membership sets (C², C³) are graph.Bitset values over the node-ID
+// Membership sets (C², C³) are graph.HybridSet values over the node-ID
 // universe: coverage construction and the downstream greedy set-cover are
-// the simulator's hottest kernels, and word-parallel set operations with
-// allocation-free iteration are what keep them fast.
+// the simulator's hottest kernels, and neighborhood-sized sorted-slice
+// operations (promoting to word-parallel bitsets only past the density
+// threshold) are what keep them O(coverage size) instead of Θ(n) at
+// 10k–100k nodes.
 package coverage
 
 import (
@@ -91,10 +93,11 @@ type Coverage struct {
 	Mode Mode
 
 	// C2 and C3 are the 2-hop and 3-hop components of the coverage set, as
-	// bitsets over node IDs. They are disjoint: a clusterhead in both is
-	// kept only in C2.
-	C2 *graph.Bitset
-	C3 *graph.Bitset
+	// adaptive hybrid sets over node IDs (sorted-slice while neighborhood-
+	// sized, dense bitset past the density threshold). They are disjoint: a
+	// clusterhead in both is kept only in C2.
+	C2 *graph.HybridSet
+	C3 *graph.HybridSet
 
 	// Conns lists, ascending by neighbor ID, the neighbors of the head
 	// that contribute coverage, with what each covers. Plain sorted slices
@@ -141,8 +144,8 @@ func (c *Coverage) RelayFor(v, w int) (int, bool) {
 
 // Set returns C(u) = C² ∪ C³ as a fresh bitset.
 func (c *Coverage) Set() *graph.Bitset {
-	m := c.C2.Clone()
-	m.Or(c.C3)
+	m := c.C2.ToBitset()
+	c.C3.AddTo(m)
 	return m
 }
 
@@ -170,9 +173,49 @@ type Builder struct {
 	// owned by a per-worker workspace re-digests without allocating.
 	ch1backing []int
 	ch2backing []Hop2Entry
-	adjacent   *graph.Bitset
-	scratch    []Hop2Entry
-	sharedCov  Coverage
+	// asm is the builder-owned assembly scratch used by Reset's CH_HOP2
+	// pass and by OfReuse/OfShared. Parallel callers assemble through
+	// OfScratch with their own AsmScratch instead.
+	asm       AsmScratch
+	cnt       []int
+	scratch   []Hop2Entry
+	sharedCov Coverage
+}
+
+// AsmScratch is the epoch-stamped mark array one coverage assembly uses:
+// mark[w] == e marks membership of w for the current stamp e, so clearing
+// between assemblies is a counter bump instead of an O(n/64) bitset clear —
+// the difference between an O(m) and an O(n²) digest pass at 10k+ nodes.
+//
+// The builder embeds one for its serial paths; workers sharding per-head
+// assembly across goroutines own one each (see OfScratch).
+type AsmScratch struct {
+	mark  []uint32
+	epoch uint32
+}
+
+// ensure sizes the mark array for an n-node universe.
+func (s *AsmScratch) ensure(n int) {
+	if cap(s.mark) < n {
+		s.mark = make([]uint32, n)
+		s.epoch = 0
+	}
+	s.mark = s.mark[:n]
+}
+
+// stamps reserves k fresh epoch values and returns the first; on wrap the
+// stale stamps are flushed over the full mark capacity first.
+func (s *AsmScratch) stamps(k uint32) uint32 {
+	if s.epoch > ^uint32(0)-k {
+		full := s.mark[:cap(s.mark)]
+		for i := range full {
+			full[i] = 0
+		}
+		s.epoch = 0
+	}
+	base := s.epoch + 1
+	s.epoch += k
+	return base
 }
 
 // NewBuilder digests the clustered network once. The clustering must be
@@ -199,28 +242,45 @@ func (b *Builder) Reset(g *graph.Graph, cl *cluster.Clustering, mode Mode) {
 		b.ch2[v] = nil
 	}
 
-	// CH_HOP1 digests: count, then fill a single backing array. Adjacency
-	// lists are sorted, so each ch1[v] comes out sorted for free.
+	// CH_HOP1 digests: ch1[v] is exactly the head-neighbors of v, so the
+	// pass iterates the heads and scatters each head into its neighbors'
+	// lists (count, prefix-sum, cursor fill) instead of testing IsHead on
+	// all 2m neighbor entries — only edges incident to a clusterhead are
+	// touched, a ~(k/n)·2m fraction of the graph. Heads come ascending in
+	// cl.Heads and each head appears once, so every ch1[v] is sorted and
+	// duplicate-free by construction.
+	if cap(b.cnt) < n+1 {
+		b.cnt = make([]int, n+1)
+	}
+	cnt := b.cnt[:n+1]
+	for i := range cnt {
+		cnt[i] = 0
+	}
 	total := 0
-	for v := 0; v < n; v++ {
-		for _, u := range g.Neighbors(v) {
-			if cl.IsHead(u) {
-				total++
-			}
+	for _, h := range cl.Heads {
+		for _, v := range g.Neighbors(h) {
+			cnt[v]++
+			total++
 		}
 	}
 	if cap(b.ch1backing) < total {
-		b.ch1backing = make([]int, 0, total)
+		b.ch1backing = make([]int, total)
 	}
-	backing := b.ch1backing[:0]
+	backing := b.ch1backing[:total]
+	// Prefix-sum the counts into start offsets, publish the (still empty)
+	// per-node views, then fill with per-node cursors.
+	off := 0
 	for v := 0; v < n; v++ {
-		start := len(backing)
-		for _, u := range g.Neighbors(v) {
-			if cl.IsHead(u) {
-				backing = append(backing, u)
-			}
+		c := cnt[v]
+		b.ch1[v] = backing[off : off+c : off+c]
+		cnt[v] = off
+		off += c
+	}
+	for _, h := range cl.Heads {
+		for _, v := range g.Neighbors(h) {
+			backing[cnt[v]] = h
+			cnt[v]++
 		}
-		b.ch1[v] = backing[start:len(backing):len(backing)]
 	}
 	b.ch1backing = backing
 
@@ -229,12 +289,7 @@ func (b *Builder) Reset(g *graph.Graph, cl *cluster.Clustering, mode Mode) {
 	// deduplicated entries are packed into one growing backing array —
 	// earlier slices stay valid across reallocation, and the per-node
 	// allocation disappears from this hot constructor.
-	if b.adjacent == nil {
-		b.adjacent = graph.NewBitset(n)
-	} else {
-		b.adjacent.Reset(n)
-	}
-	adjacent := b.adjacent // clusterheads adjacent to v
+	b.asm.ensure(n)
 	if b.scratch == nil {
 		b.scratch = make([]Hop2Entry, 0, 64)
 	}
@@ -247,9 +302,10 @@ func (b *Builder) Reset(g *graph.Graph, cl *cluster.Clustering, mode Mode) {
 		if cl.IsHead(v) {
 			continue
 		}
-		adjacent.Clear()
+		epoch := b.asm.stamps(1)
+		mark := b.asm.mark
 		for _, w := range b.ch1[v] {
-			adjacent.Add(w)
+			mark[w] = epoch
 		}
 		scratch = scratch[:0]
 		for _, r := range g.Neighbors(v) {
@@ -259,13 +315,13 @@ func (b *Builder) Reset(g *graph.Graph, cl *cluster.Clustering, mode Mode) {
 			switch mode {
 			case Hop25:
 				// Only r's own clusterhead generates an entry.
-				if w := cl.Head[r]; !adjacent.Has(w) {
+				if w := cl.Head[r]; mark[w] != epoch {
 					scratch = append(scratch, Hop2Entry{W: w, R: r})
 				}
 			case Hop3:
 				// Every clusterhead r hears directly generates an entry.
 				for _, w := range b.ch1[r] {
-					if !adjacent.Has(w) {
+					if mark[w] != epoch {
 						scratch = append(scratch, Hop2Entry{W: w, R: r})
 					}
 				}
@@ -347,19 +403,35 @@ func (b *Builder) OfShared(u int) *Coverage {
 // bitsets and backing arrays. It panics when u is not a clusterhead of the
 // clustering.
 func (b *Builder) OfReuse(u int, c *Coverage) *Coverage {
+	return b.OfScratch(u, c, &b.asm)
+}
+
+// OfScratch is OfReuse with caller-provided assembly scratch. After Reset
+// the builder's digests are read-only, so OfScratch is safe to call from
+// multiple goroutines concurrently as long as each caller passes its own
+// c and scr — the sharded per-clusterhead selection path relies on this.
+func (b *Builder) OfScratch(u int, c *Coverage, scr *AsmScratch) *Coverage {
 	if !b.cl.IsHead(u) {
 		panic("coverage: Of called on a non-clusterhead")
 	}
 	n := b.g.N()
+	scr.ensure(n)
 	c.Head, c.Mode = u, b.mode
 	if c.C2 == nil {
-		c.C2, c.C3 = graph.NewBitset(n), graph.NewBitset(n)
+		c.C2, c.C3 = graph.NewHybridSet(n), graph.NewHybridSet(n)
 	} else {
 		c.C2.Reset(n)
 		c.C3.Reset(n)
 	}
 	c.Conns = c.Conns[:0]
 	nbrs := b.g.Neighbors(u)
+	// Membership during assembly is tracked in the epoch-stamped mark array
+	// (ep2 = "in C²", ep3 = "already in C³"), so the C³ pass filters against
+	// C² — and both passes deduplicate their set inserts — with O(1) array
+	// probes instead of per-entry set lookups.
+	ep2 := scr.stamps(2)
+	ep3 := ep2 + 1
+	mark := scr.mark
 	// C² first (from neighbors' CH_HOP1), because the C³ pass must filter
 	// against the complete C². Per-neighbor lists are packed into shared
 	// backing arrays addressed by offsets — no per-neighbor allocations.
@@ -375,7 +447,10 @@ func (b *Builder) OfReuse(u int, c *Coverage) *Coverage {
 			if w == u {
 				continue
 			}
-			c.C2.Add(w)
+			if mark[w] != ep2 {
+				mark[w] = ep2
+				c.C2.Add(w)
+			}
 			direct = append(direct, w)
 		}
 		dirOff[i+1] = len(direct)
@@ -386,10 +461,13 @@ func (b *Builder) OfReuse(u int, c *Coverage) *Coverage {
 	indirect := c.indirect[:0]
 	for i, v := range nbrs {
 		for _, e := range b.ch2[v] {
-			if e.W == u || c.C2.Has(e.W) {
+			if e.W == u || mark[e.W] == ep2 {
 				continue
 			}
-			c.C3.Add(e.W)
+			if mark[e.W] != ep3 {
+				mark[e.W] = ep3
+				c.C3.Add(e.W)
+			}
 			indirect = append(indirect, e)
 		}
 		indOff[i+1] = len(indirect)

@@ -36,9 +36,10 @@ func paperSetup(t *testing.T, mode Mode) (*graph.Graph, *cluster.Clustering, *Bu
 	return g, cl, NewBuilder(g, cl, mode)
 }
 
-// keys returns the sorted members of a bitset (nil when empty, for easy
-// reflect.DeepEqual comparisons).
-func keys(b *graph.Bitset) []int {
+// keys returns the sorted members of a set (nil when empty, for easy
+// reflect.DeepEqual comparisons). It accepts any of the graph set
+// representations (Bitset, SparseSet, HybridSet).
+func keys(b interface{ Members() []int }) []int {
 	out := b.Members()
 	if len(out) == 0 {
 		return nil

@@ -38,10 +38,12 @@ type packet struct {
 	// the packet is fresh from a non-clusterhead source).
 	fromCH int
 	// cov holds C(u) ∪ {u} of that clusterhead: every clusterhead known to
-	// be covered by its transmission.
-	cov *graph.Bitset
-	// forward is F(u): the non-clusterhead nodes asked to relay.
-	forward *graph.Bitset
+	// be covered by its transmission. Hybrid because coverage sets are
+	// neighborhood-sized, not Θ(n).
+	cov *graph.HybridSet
+	// forward is F(u): the non-clusterhead nodes asked to relay. Hybrid for
+	// the same reason as cov: a handful of gateways, not Θ(n).
+	forward *graph.HybridSet
 }
 
 // Protocol is the broadcast.Protocol implementation of the dynamic
@@ -56,13 +58,14 @@ type Protocol struct {
 	covByNode []*coverage.Coverage       // head ID -> its arena entry
 	sel       *backbone.Workspace        // gateway-selection scratch
 
-	// Packet/bitset arenas, active only for workspace-backed protocols:
+	// Packet/set arenas, active only for workspace-backed protocols:
 	// several head packets are alive within one broadcast, so the arenas
 	// are bump-allocated and rewound once per broadcast (in Start).
 	reuse   bool
-	need    graph.Bitset
-	bitsets []*graph.Bitset
-	bcur    int
+	bws     *broadcast.Workspace
+	need    graph.HybridSet
+	hsets   []*graph.HybridSet
+	hcur    int
 	packets []*packet
 	pcur    int
 }
@@ -105,22 +108,22 @@ func (p *Protocol) init(b *coverage.Builder, g *graph.Graph, cl *cluster.Cluster
 	}
 }
 
-// allocBitset returns a cleared n-bitset: fresh for plain protocols, from
-// the bump arena for workspace-backed ones.
-func (p *Protocol) allocBitset(n int) *graph.Bitset {
+// allocHybrid returns a cleared n-hybrid-set: fresh for plain protocols,
+// from the bump arena for workspace-backed ones.
+func (p *Protocol) allocHybrid(n int) *graph.HybridSet {
 	if !p.reuse {
-		return graph.NewBitset(n)
+		return graph.NewHybridSet(n)
 	}
-	if p.bcur == len(p.bitsets) {
-		p.bitsets = append(p.bitsets, graph.NewBitset(n))
+	if p.hcur == len(p.hsets) {
+		p.hsets = append(p.hsets, graph.NewHybridSet(n))
 	}
-	b := p.bitsets[p.bcur]
-	p.bcur++
-	b.Reset(n)
-	return b
+	h := p.hsets[p.hcur]
+	p.hcur++
+	h.Reset(n)
+	return h
 }
 
-// allocPacket returns a packet to fill, analogous to allocBitset.
+// allocPacket returns a packet to fill, analogous to allocHybrid.
 func (p *Protocol) allocPacket() *packet {
 	if !p.reuse {
 		return &packet{}
@@ -146,7 +149,7 @@ func (p *Protocol) Name() string {
 // broadcasts, so everything handed out during the previous broadcast is
 // dead by the next Start.
 func (p *Protocol) Start(source int) broadcast.Packet {
-	p.bcur, p.pcur = 0, 0
+	p.hcur, p.pcur = 0, 0
 	if p.cl.IsHead(source) {
 		return p.headPacket(source, nil, -1)
 	}
@@ -165,11 +168,11 @@ func (p *Protocol) headPacket(v int, in *packet, x int) *packet {
 	n := p.g.N()
 	// Updated coverage set: start from the full C(v), drop everything the
 	// upstream transmission already covers. The need set is consumed by
-	// the selection below and never escapes, so one scratch bitset serves
+	// the selection below and never escapes, so one scratch set serves
 	// every head packet.
 	need := &p.need
 	need.Reset(n)
-	need.Or(cov.C2)
+	need.CopyFrom(cov.C2)
 	need.Or(cov.C3)
 	if in != nil {
 		if in.cov != nil {
@@ -186,13 +189,13 @@ func (p *Protocol) headPacket(v int, in *packet, x int) *packet {
 			need.Remove(w)
 		}
 	}
-	fwd := p.allocBitset(n)
+	fwd := p.allocHybrid(n)
 	p.sel.SelectInto(cov, need, need, backbone.Options{}, fwd)
 	// Piggyback the FULL coverage set (paper: "F(3)={9} and C(3)={1,2,4}
 	// are piggybacked"): everything in C(v) either receives via F(v) or
 	// was excluded precisely because it already received.
-	full := p.allocBitset(n)
-	full.Or(cov.C2)
+	full := p.allocHybrid(n)
+	full.CopyFrom(cov.C2)
 	full.Or(cov.C3)
 	full.Add(v)
 	pk := p.allocPacket()
@@ -235,4 +238,14 @@ func (p *Protocol) OnDuplicate(v, x int, pkt broadcast.Packet) (bool, broadcast.
 // res.ForwardCount().
 func (p *Protocol) Broadcast(source int) *broadcast.Result {
 	return broadcast.Run(p.g, source, p)
+}
+
+// BroadcastWS runs one broadcast on the protocol's dense engine workspace
+// and returns the workspace-owned result — the allocation-free path for
+// replicate loops. The result is valid until the next BroadcastWS call.
+func (p *Protocol) BroadcastWS(source int) *broadcast.WSResult {
+	if p.bws == nil {
+		p.bws = broadcast.NewWorkspace()
+	}
+	return p.bws.Run(p.g, source, p)
 }

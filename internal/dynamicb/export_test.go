@@ -10,7 +10,7 @@ import (
 func (p *Protocol) HeadPacketForTest(v int, in broadcast.Packet, x int) (forward map[int]bool, piggyCov map[int]bool) {
 	pkt, _ := in.(*packet)
 	out := p.headPacket(v, pkt, x)
-	return out.forward.ToSet(), out.cov.ToSet()
+	return out.forward.ToBitset().ToSet(), out.cov.ToBitset().ToSet()
 }
 
 // PacketForTest builds an incoming packet for white-box tests. Sets are
@@ -19,10 +19,20 @@ func (p *Protocol) PacketForTest(fromCH int, cov map[int]bool, forward map[int]b
 	n := p.g.N()
 	pk := &packet{fromCH: fromCH}
 	if cov != nil {
-		pk.cov = graph.BitsetFromSet(n, cov)
+		pk.cov = graph.NewHybridSet(n)
+		for v, ok := range cov {
+			if ok {
+				pk.cov.Add(v)
+			}
+		}
 	}
 	if forward != nil {
-		pk.forward = graph.BitsetFromSet(n, forward)
+		pk.forward = graph.NewHybridSet(n)
+		for v, ok := range forward {
+			if ok {
+				pk.forward.Add(v)
+			}
+		}
 	}
 	return pk
 }

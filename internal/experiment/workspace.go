@@ -30,6 +30,7 @@ type Workspace struct {
 	Backbone *backbone.Workspace
 	MOCDS    *mocds.Workspace
 	Dynamic  *dynamicb.Workspace
+	Bcast    *broadcast.Workspace
 
 	rng rng.Stream // per-replicate stream, reseeded by SampleWS
 	src rng.Stream // split child handed to estimators (source selection)
@@ -43,6 +44,7 @@ func NewWorkspace() *Workspace {
 		Backbone: backbone.NewWorkspace(),
 		MOCDS:    mocds.NewWorkspace(),
 		Dynamic:  dynamicb.NewWorkspace(),
+		Bcast:    broadcast.NewWorkspace(),
 	}
 }
 
@@ -157,7 +159,7 @@ func DynamicForwardEstimatorWS(mode coverage.Mode) WSEstimator {
 			return 0, false
 		}
 		p := ws.Dynamic.NewWith(nw.G, cl, mode)
-		res := p.Broadcast(r.Intn(nw.N()))
+		res := p.BroadcastWS(r.Intn(nw.N()))
 		return float64(res.ForwardCount()), true
 	}
 }
@@ -172,7 +174,7 @@ func StaticForwardEstimatorWS(mode coverage.Mode) WSEstimator {
 		}
 		ws.Builder.Reset(nw.G, cl, mode)
 		nodes := ws.Backbone.StaticNodes(&ws.Builder, cl, backbone.Options{})
-		res := broadcast.Run(nw.G, r.Intn(nw.N()), broadcast.StaticCDSBits{Set: nodes})
+		res := ws.Bcast.Run(nw.G, r.Intn(nw.N()), broadcast.StaticCDSBits{Set: nodes})
 		return float64(res.ForwardCount()), true
 	}
 }
@@ -187,7 +189,7 @@ func MOCDSForwardEstimatorWS() WSEstimator {
 		}
 		ws.Builder.Reset(nw.G, cl, coverage.Hop3)
 		nodes := ws.MOCDS.NodesFrom(&ws.Builder, cl)
-		res := broadcast.Run(nw.G, r.Intn(nw.N()), broadcast.StaticCDSBits{Set: nodes})
+		res := ws.Bcast.Run(nw.G, r.Intn(nw.N()), broadcast.StaticCDSBits{Set: nodes})
 		return float64(res.ForwardCount()), true
 	}
 }

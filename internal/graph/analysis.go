@@ -7,7 +7,7 @@ import "sort"
 // (iterative). In a MANET these are the single points of failure of the
 // topology; a backbone that concentrates on them is fragile.
 func (g *Graph) CutVertices() map[int]bool {
-	n := len(g.adj)
+	n := g.N()
 	disc := make([]int, n)
 	low := make([]int, n)
 	parent := make([]int, n)
@@ -33,8 +33,8 @@ func (g *Graph) CutVertices() map[int]bool {
 		timer++
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			if f.ei < len(g.adj[f.v]) {
-				w := g.adj[f.v][f.ei]
+			if f.ei < len(g.Neighbors(f.v)) {
+				w := g.Neighbors(f.v)[f.ei]
 				f.ei++
 				if disc[w] == -1 {
 					parent[w] = f.v
@@ -73,7 +73,7 @@ func (g *Graph) CutVertices() map[int]bool {
 // Bridges returns the bridge edges of g (as ordered pairs u < v, sorted):
 // edges whose removal disconnects their component.
 func (g *Graph) Bridges() [][2]int {
-	n := len(g.adj)
+	n := g.N()
 	disc := make([]int, n)
 	low := make([]int, n)
 	parent := make([]int, n)
@@ -101,8 +101,8 @@ func (g *Graph) Bridges() [][2]int {
 		timer++
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			if f.ei < len(g.adj[f.v]) {
-				w := g.adj[f.v][f.ei]
+			if f.ei < len(g.Neighbors(f.v)) {
+				w := g.Neighbors(f.v)[f.ei]
 				f.ei++
 				if w == parent[f.v] && !f.skippedParentEdge {
 					f.skippedParentEdge = true
@@ -147,12 +147,12 @@ func (g *Graph) Bridges() [][2]int {
 // Triangles returns the number of triangles in g.
 func (g *Graph) Triangles() int {
 	count := 0
-	for u := 0; u < len(g.adj); u++ {
-		for _, v := range g.adj[u] {
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
 			if v <= u {
 				continue
 			}
-			for _, w := range g.adj[v] {
+			for _, w := range g.Neighbors(v) {
 				if w > v && g.HasEdge(u, w) {
 					count++
 				}
@@ -169,8 +169,8 @@ func (g *Graph) Triangles() int {
 // redundancy is so high.
 func (g *Graph) ClusteringCoefficient() float64 {
 	triples := 0
-	for v := 0; v < len(g.adj); v++ {
-		d := len(g.adj[v])
+	for v := 0; v < g.N(); v++ {
+		d := len(g.Neighbors(v))
 		triples += d * (d - 1) / 2
 	}
 	if triples == 0 {
@@ -182,8 +182,8 @@ func (g *Graph) ClusteringCoefficient() float64 {
 // DegreeHistogram returns counts[k] = number of nodes with degree k.
 func (g *Graph) DegreeHistogram() []int {
 	counts := make([]int, g.MaxDegree()+1)
-	for v := 0; v < len(g.adj); v++ {
-		counts[len(g.adj[v])]++
+	for v := 0; v < g.N(); v++ {
+		counts[len(g.Neighbors(v))]++
 	}
 	return counts
 }

@@ -8,11 +8,18 @@ import "math/bits"
 // run word-at-a-time, and iteration visits members in ascending order with
 // no sorting or hashing.
 //
+// Every word at index ≥ hi is zero: hi is a touched-word high-water mark
+// maintained by the mutating operations, so clearing, scanning and copying
+// a set cost O(touched words), not O(capacity words). A nearly empty set
+// over a 100k-node universe resets in a handful of word writes instead of
+// 1563 — the difference between O(deg) and Θ(n) per reset at scale.
+//
 // All binary operations require operands created with the same capacity.
 // The zero value is an empty set of capacity 0; use NewBitset.
 type Bitset struct {
 	words []uint64
 	n     int // capacity in bits
+	hi    int // words[hi:] are all zero
 }
 
 // NewBitset returns an empty set over the universe 0..n−1.
@@ -50,7 +57,9 @@ func (b *Bitset) Cap() int { return b.n }
 // word storage when it suffices. It is the workspace-reuse companion of
 // NewBitset: a bitset owned by a per-worker workspace is Reset at the start
 // of each replicate, so steady-state replicates allocate nothing even when
-// the swept network size changes between calls.
+// the swept network size changes between calls. Only words up to the
+// high-water mark are zeroed, so resetting a sparsely used set is O(touched
+// words) regardless of capacity.
 func (b *Bitset) Reset(n int) {
 	if n < 0 {
 		panic("graph: negative bitset capacity")
@@ -59,15 +68,29 @@ func (b *Bitset) Reset(n int) {
 	if cap(b.words) < words {
 		b.words = make([]uint64, words)
 		b.n = n
+		b.hi = 0
 		return
 	}
-	b.words = b.words[:words]
+	// Zero through the high-water mark over the full-capacity view: a
+	// previous Reset may have shrunk the visible slice below hi's words,
+	// but the dirty words still sit in the shared backing array.
+	full := b.words[:cap(b.words)]
+	for i := 0; i < b.hi; i++ {
+		full[i] = 0
+	}
+	b.words = full[:words]
 	b.n = n
-	b.Clear()
+	b.hi = 0
 }
 
 // Add inserts i into the set.
-func (b *Bitset) Add(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+func (b *Bitset) Add(i int) {
+	w := i >> 6
+	b.words[w] |= 1 << (uint(i) & 63)
+	if w >= b.hi {
+		b.hi = w + 1
+	}
+}
 
 // Remove deletes i from the set.
 func (b *Bitset) Remove(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
@@ -83,7 +106,7 @@ func (b *Bitset) Has(i int) bool {
 // Count returns the number of members.
 func (b *Bitset) Count() int {
 	c := 0
-	for _, w := range b.words {
+	for _, w := range b.words[:b.hi] {
 		c += bits.OnesCount64(w)
 	}
 	return c
@@ -91,7 +114,7 @@ func (b *Bitset) Count() int {
 
 // Any reports whether the set is non-empty.
 func (b *Bitset) Any() bool {
-	for _, w := range b.words {
+	for _, w := range b.words[:b.hi] {
 		if w != 0 {
 			return true
 		}
@@ -102,7 +125,7 @@ func (b *Bitset) Any() bool {
 // Min returns the smallest member, or −1 when the set is empty. It is the
 // deterministic "lowest ID first" iteration anchor of the greedy selection.
 func (b *Bitset) Min() int {
-	for i, w := range b.words {
+	for i, w := range b.words[:b.hi] {
 		if w != 0 {
 			return i<<6 + bits.TrailingZeros64(w)
 		}
@@ -110,22 +133,28 @@ func (b *Bitset) Min() int {
 	return -1
 }
 
-// Clear empties the set in place.
+// Clear empties the set in place, zeroing only the touched words.
 func (b *Bitset) Clear() {
-	for i := range b.words {
-		b.words[i] = 0
+	words := b.words[:b.hi]
+	for i := range words {
+		words[i] = 0
 	}
+	b.hi = 0
 }
 
 // CopyFrom overwrites b with the contents of o (same capacity required).
 func (b *Bitset) CopyFrom(o *Bitset) {
 	b.check(o)
-	copy(b.words, o.words)
+	copy(b.words[:o.hi], o.words[:o.hi])
+	for i := o.hi; i < b.hi; i++ {
+		b.words[i] = 0
+	}
+	b.hi = o.hi
 }
 
 // Clone returns an independent copy of b.
 func (b *Bitset) Clone() *Bitset {
-	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n, hi: b.hi}
 	copy(c.words, b.words)
 	return c
 }
@@ -133,36 +162,70 @@ func (b *Bitset) Clone() *Bitset {
 // Or adds every member of o to b (set union, in place).
 func (b *Bitset) Or(o *Bitset) {
 	b.check(o)
-	for i, w := range o.words {
+	for i, w := range o.words[:o.hi] {
 		b.words[i] |= w
+	}
+	if o.hi > b.hi {
+		b.hi = o.hi
 	}
 }
 
 // And keeps only members shared with o (set intersection, in place).
 func (b *Bitset) And(o *Bitset) {
 	b.check(o)
-	for i, w := range o.words {
-		b.words[i] &= w
+	lo := b.hi
+	if o.hi < lo {
+		lo = o.hi
 	}
+	for i := 0; i < lo; i++ {
+		b.words[i] &= o.words[i]
+	}
+	for i := lo; i < b.hi; i++ {
+		b.words[i] = 0
+	}
+	b.hi = lo
 }
 
 // AndNot removes every member of o from b (set difference, in place).
 func (b *Bitset) AndNot(o *Bitset) {
 	b.check(o)
-	for i, w := range o.words {
-		b.words[i] &^= w
+	lo := b.hi
+	if o.hi < lo {
+		lo = o.hi
+	}
+	for i := 0; i < lo; i++ {
+		b.words[i] &^= o.words[i]
 	}
 }
 
 // Intersects reports whether b and o share a member.
 func (b *Bitset) Intersects(o *Bitset) bool {
 	b.check(o)
-	for i, w := range o.words {
-		if b.words[i]&w != 0 {
+	lo := b.hi
+	if o.hi < lo {
+		lo = o.hi
+	}
+	for i := 0; i < lo; i++ {
+		if b.words[i]&o.words[i] != 0 {
 			return true
 		}
 	}
 	return false
+}
+
+// IntersectionCount returns |b ∩ o| without materializing the
+// intersection.
+func (b *Bitset) IntersectionCount(o *Bitset) int {
+	b.check(o)
+	lo := b.hi
+	if o.hi < lo {
+		lo = o.hi
+	}
+	c := 0
+	for i := 0; i < lo; i++ {
+		c += bits.OnesCount64(b.words[i] & o.words[i])
+	}
+	return c
 }
 
 // Equal reports whether b and o hold exactly the same members.
@@ -170,8 +233,14 @@ func (b *Bitset) Equal(o *Bitset) bool {
 	if b.n != o.n {
 		return false
 	}
-	for i, w := range o.words {
-		if b.words[i] != w {
+	// hi is a watermark, not a tight bound (Remove does not lower it), so
+	// compare through the larger of the two marks.
+	top := b.hi
+	if o.hi > top {
+		top = o.hi
+	}
+	for i := 0; i < top; i++ {
+		if b.words[i] != o.words[i] {
 			return false
 		}
 	}
@@ -180,7 +249,7 @@ func (b *Bitset) Equal(o *Bitset) bool {
 
 // ForEach calls fn for every member in ascending order.
 func (b *Bitset) ForEach(fn func(i int)) {
-	for wi, w := range b.words {
+	for wi, w := range b.words[:b.hi] {
 		for w != 0 {
 			fn(wi<<6 + bits.TrailingZeros64(w))
 			w &= w - 1
@@ -196,7 +265,7 @@ func (b *Bitset) Members() []int {
 // AppendMembers appends the members in ascending order to dst and returns
 // the extended slice (zero allocations when dst has capacity).
 func (b *Bitset) AppendMembers(dst []int) []int {
-	for wi, w := range b.words {
+	for wi, w := range b.words[:b.hi] {
 		for w != 0 {
 			dst = append(dst, wi<<6+bits.TrailingZeros64(w))
 			w &= w - 1

@@ -15,30 +15,48 @@ import (
 )
 
 // Graph is an undirected simple graph over nodes 0..n−1 stored as sorted
-// adjacency lists. The zero value is an empty graph with no nodes; use New
-// to create a graph with a fixed node count.
+// adjacency lists, in one of two layouts:
+//
+//   - list mode: one []int per node (adj), the incremental-construction
+//     layout used by AddEdge and the mobility maintenance path;
+//   - CSR mode: one flat neighbor array indexed by an offset array
+//     (off/flat), the compressed-sparse-row layout the topology hot path
+//     fills in two passes with zero per-node allocations.
+//
+// Neighbors(u) is a zero-copy slice view in both modes, so traversal code
+// is layout-agnostic. The zero value is an empty graph with no nodes; use
+// New to create a graph with a fixed node count.
 type Graph struct {
-	adj   [][]int
+	adj   [][]int // list mode; nil when off is set
+	off   []int   // CSR mode: neighbors of u are flat[off[u]:off[u+1]]
+	flat  []int
+	n     int
 	edges int
 }
 
-// New returns a graph with n isolated nodes.
+// New returns a graph with n isolated nodes (list mode).
 func New(n int) *Graph {
 	if n < 0 {
 		panic("graph: negative node count")
 	}
-	return &Graph{adj: make([][]int, n)}
+	return &Graph{adj: make([][]int, n), n: n}
 }
 
 // N returns the number of nodes.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int { return g.n }
 
 // M returns the number of edges.
 func (g *Graph) M() int { return g.edges }
 
+// CSR reports whether the graph currently uses the compressed-sparse-row
+// layout.
+func (g *Graph) CSR() bool { return g.off != nil }
+
 // AddEdge inserts the undirected edge {u, v}. Self-loops and duplicate
 // edges are rejected with a panic: the unit-disk model never produces them,
-// so their appearance indicates a bug in the caller.
+// so their appearance indicates a bug in the caller. On a CSR-mode graph
+// the adjacency is first materialized back into per-node lists — edge
+// insertion is a construction-time operation, not a hot-path one.
 func (g *Graph) AddEdge(u, v int) {
 	if u == v {
 		panic(fmt.Sprintf("graph: self-loop at %d", u))
@@ -46,9 +64,23 @@ func (g *Graph) AddEdge(u, v int) {
 	if g.HasEdge(u, v) {
 		panic(fmt.Sprintf("graph: duplicate edge {%d,%d}", u, v))
 	}
+	if g.off != nil {
+		g.materializeLists()
+	}
 	g.insertSorted(u, v)
 	g.insertSorted(v, u)
 	g.edges++
+}
+
+// materializeLists converts a CSR-mode graph back to list mode, copying
+// each neighbor segment into its own growable slice.
+func (g *Graph) materializeLists() {
+	adj := make([][]int, g.n)
+	for u := 0; u < g.n; u++ {
+		adj[u] = append([]int(nil), g.flat[g.off[u]:g.off[u+1]]...)
+	}
+	g.adj = adj
+	g.off, g.flat = nil, nil
 }
 
 func (g *Graph) insertSorted(u, v int) {
@@ -62,27 +94,37 @@ func (g *Graph) insertSorted(u, v int) {
 
 // HasEdge reports whether {u, v} is an edge.
 func (g *Graph) HasEdge(u, v int) bool {
-	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		return false
 	}
-	list := g.adj[u]
+	list := g.Neighbors(u)
 	i := sort.SearchInts(list, v)
 	return i < len(list) && list[i] == v
 }
 
 // Neighbors returns the sorted adjacency list of u. The returned slice is
 // owned by the graph and must not be modified.
-func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+func (g *Graph) Neighbors(u int) []int {
+	if g.off != nil {
+		return g.flat[g.off[u]:g.off[u+1]:g.off[u+1]]
+	}
+	return g.adj[u]
+}
 
 // Degree returns the number of neighbors of u.
-func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u int) int {
+	if g.off != nil {
+		return g.off[u+1] - g.off[u]
+	}
+	return len(g.adj[u])
+}
 
 // MaxDegree returns Δ(G), the maximum node degree (0 for an empty graph).
 func (g *Graph) MaxDegree() int {
 	max := 0
-	for _, l := range g.adj {
-		if len(l) > max {
-			max = len(l)
+	for u := 0; u < g.n; u++ {
+		if d := g.Degree(u); d > max {
+			max = d
 		}
 	}
 	return max
@@ -90,15 +132,21 @@ func (g *Graph) MaxDegree() int {
 
 // AvgDegree returns the average node degree 2m/n (0 for an empty graph).
 func (g *Graph) AvgDegree() float64 {
-	if len(g.adj) == 0 {
+	if g.n == 0 {
 		return 0
 	}
-	return 2 * float64(g.edges) / float64(len(g.adj))
+	return 2 * float64(g.edges) / float64(g.n)
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g, preserving the storage layout.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{adj: make([][]int, len(g.adj)), edges: g.edges}
+	c := &Graph{n: g.n, edges: g.edges}
+	if g.off != nil {
+		c.off = append([]int(nil), g.off...)
+		c.flat = append([]int(nil), g.flat...)
+		return c
+	}
+	c.adj = make([][]int, len(g.adj))
 	for i, l := range g.adj {
 		c.adj[i] = append([]int(nil), l...)
 	}
@@ -108,8 +156,8 @@ func (g *Graph) Clone() *Graph {
 // Edges returns all edges as ordered pairs (u < v), sorted.
 func (g *Graph) Edges() [][2]int {
 	out := make([][2]int, 0, g.edges)
-	for u, l := range g.adj {
-		for _, v := range l {
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Neighbors(u) {
 			if u < v {
 				out = append(out, [2]int{u, v})
 			}
@@ -121,7 +169,7 @@ func (g *Graph) Edges() [][2]int {
 // BFS runs a breadth-first search from src and returns dist[v] = hop count
 // from src, with −1 for unreachable nodes.
 func (g *Graph) BFS(src int) []int {
-	dist := make([]int, len(g.adj))
+	dist := make([]int, g.n)
 	for i := range dist {
 		dist[i] = -1
 	}
@@ -130,7 +178,7 @@ func (g *Graph) BFS(src int) []int {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(u) {
 			if dist[v] == -1 {
 				dist[v] = dist[u] + 1
 				queue = append(queue, v)
@@ -151,7 +199,7 @@ func (g *Graph) KHop(v, k int) []int {
 	for hop := 0; hop < k && len(frontier) > 0; hop++ {
 		var next []int
 		for _, u := range frontier {
-			for _, w := range g.adj[u] {
+			for _, w := range g.Neighbors(u) {
 				if _, ok := dist[w]; !ok {
 					dist[w] = hop + 1
 					next = append(next, w)
@@ -182,9 +230,9 @@ func (g *Graph) Connected() bool {
 // Components returns the connected components of g, each as a sorted slice
 // of node IDs, ordered by their smallest member.
 func (g *Graph) Components() [][]int {
-	seen := make([]bool, len(g.adj))
+	seen := make([]bool, g.n)
 	var comps [][]int
-	for s := 0; s < len(g.adj); s++ {
+	for s := 0; s < g.n; s++ {
 		if seen[s] {
 			continue
 		}
@@ -195,7 +243,7 @@ func (g *Graph) Components() [][]int {
 			u := queue[0]
 			queue = queue[1:]
 			comp = append(comp, u)
-			for _, v := range g.adj[u] {
+			for _, v := range g.Neighbors(u) {
 				if !seen[v] {
 					seen[v] = true
 					queue = append(queue, v)
@@ -213,7 +261,7 @@ func (g *Graph) Components() [][]int {
 // connectivity half of the CDS predicate.
 func (g *Graph) InducedSubgraphConnected(set map[int]bool) bool {
 	s := getScratch()
-	ok := g.InducedConnected(s, BitsetFromSet(len(g.adj), set))
+	ok := g.InducedConnected(s, BitsetFromSet(g.n, set))
 	putScratch(s)
 	return ok
 }
@@ -221,17 +269,17 @@ func (g *Graph) InducedSubgraphConnected(set map[int]bool) bool {
 // IsDominatingSet reports whether every node is in the set or adjacent to a
 // member of the set.
 func (g *Graph) IsDominatingSet(set map[int]bool) bool {
-	return g.IsDominatingSetBits(BitsetFromSet(len(g.adj), set))
+	return g.IsDominatingSetBits(BitsetFromSet(g.n, set))
 }
 
 // IsDominatingSetBits is IsDominatingSet over a Bitset membership.
 func (g *Graph) IsDominatingSetBits(set *Bitset) bool {
-	for u := range g.adj {
+	for u := 0; u < g.n; u++ {
 		if set.Has(u) {
 			continue
 		}
 		dominated := false
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(u) {
 			if set.Has(v) {
 				dominated = true
 				break
@@ -246,7 +294,7 @@ func (g *Graph) IsDominatingSetBits(set *Bitset) bool {
 
 // IsCDS reports whether the set is a connected dominating set of g.
 func (g *Graph) IsCDS(set map[int]bool) bool {
-	return g.IsCDSBits(BitsetFromSet(len(g.adj), set))
+	return g.IsCDSBits(BitsetFromSet(g.n, set))
 }
 
 // IsCDSBits is IsCDS over a Bitset membership.
@@ -263,14 +311,14 @@ func (g *Graph) IsCDSBits(set *Bitset) bool {
 // IsIndependentSet reports whether no two members of the set are adjacent.
 // The clusterhead set of a valid clustering must satisfy this.
 func (g *Graph) IsIndependentSet(set map[int]bool) bool {
-	return g.IsIndependentSetBits(BitsetFromSet(len(g.adj), set))
+	return g.IsIndependentSetBits(BitsetFromSet(g.n, set))
 }
 
 // IsIndependentSetBits is IsIndependentSet over a Bitset membership.
 func (g *Graph) IsIndependentSetBits(set *Bitset) bool {
 	ok := true
 	set.ForEach(func(u int) {
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(u) {
 			if set.Has(v) {
 				ok = false
 				return
@@ -299,7 +347,7 @@ func (g *Graph) Eccentricity(v int) int {
 // Diameter returns the hop diameter of g, or −1 when g is disconnected.
 func (g *Graph) Diameter() int {
 	diam := 0
-	for v := range g.adj {
+	for v := 0; v < g.n; v++ {
 		e := g.Eccentricity(v)
 		if e == -1 {
 			return -1
@@ -317,7 +365,7 @@ func (g *Graph) ShortestPath(src, dst int) []int {
 	if src == dst {
 		return []int{src}
 	}
-	prev := make([]int, len(g.adj))
+	prev := make([]int, g.n)
 	for i := range prev {
 		prev[i] = -1
 	}
@@ -326,7 +374,7 @@ func (g *Graph) ShortestPath(src, dst int) []int {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(u) {
 			if prev[v] == -1 {
 				prev[v] = u
 				if v == dst {
@@ -353,7 +401,7 @@ func (g *Graph) ShortestPath(src, dst int) []int {
 func (g *Graph) DOT(name string, highlight map[int]bool) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "graph %s {\n", name)
-	for u := 0; u < len(g.adj); u++ {
+	for u := 0; u < g.n; u++ {
 		if highlight[u] {
 			fmt.Fprintf(&b, "  %d [style=filled fillcolor=black fontcolor=white];\n", u)
 		} else {
@@ -449,6 +497,8 @@ func (g *Graph) Renew(adj [][]int) {
 		panic("graph: asymmetric adjacency lists")
 	}
 	g.adj = adj
+	g.off, g.flat = nil, nil
+	g.n = n
 	g.edges = degSum / 2
 }
 
@@ -466,7 +516,27 @@ func (g *Graph) RenewSorted(adj [][]int) {
 		degSum += len(adj[u])
 	}
 	g.adj = adj
+	g.off, g.flat = nil, nil
+	g.n = len(adj)
 	g.edges = degSum / 2
+}
+
+// RenewCSR re-initializes g in place around a compressed-sparse-row
+// adjacency the caller guarantees is well-formed: off has n+1 ascending
+// offsets with off[0] == 0 and off[n] == len(flat), and each segment
+// flat[off[u]:off[u+1]] is strictly ascending, symmetric, self-loop-free
+// and in range. Like RenewSorted it performs no validation — it is the
+// trusted zero-allocation handoff from the topology workspace, which
+// builds the CSR in two counting passes and sorts each segment in place.
+// The graph takes ownership of both slices.
+func (g *Graph) RenewCSR(off, flat []int) {
+	if len(off) == 0 {
+		panic("graph: RenewCSR needs at least the terminating offset")
+	}
+	g.adj = nil
+	g.off, g.flat = off, flat
+	g.n = len(off) - 1
+	g.edges = len(flat) / 2
 }
 
 // sortShort sorts an adjacency list, with a straight insertion sort for
@@ -488,15 +558,19 @@ func sortShort(l []int) {
 	}
 }
 
+// SortNeighborSegment sorts one CSR neighbor segment in place. It is
+// exported for the topology workspace's trusted CSR construction.
+func SortNeighborSegment(l []int) { sortShort(l) }
+
 // NeighborBitset fills dst (capacity ≥ n) with the neighbors of u and
 // returns it; with dst == nil a fresh set is allocated.
 func (g *Graph) NeighborBitset(u int, dst *Bitset) *Bitset {
 	if dst == nil {
-		dst = NewBitset(len(g.adj))
+		dst = NewBitset(g.n)
 	} else {
 		dst.Clear()
 	}
-	for _, v := range g.adj[u] {
+	for _, v := range g.Neighbors(u) {
 		dst.Add(v)
 	}
 	return dst

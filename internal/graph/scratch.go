@@ -69,7 +69,7 @@ func putScratch(s *Scratch) { scratchPool.Put(s) }
 
 // ConnectedWith reports whether g is connected, reusing the scratch.
 func (g *Graph) ConnectedWith(s *Scratch) bool {
-	n := len(g.adj)
+	n := g.N()
 	if n <= 1 {
 		return true
 	}
@@ -78,7 +78,7 @@ func (g *Graph) ConnectedWith(s *Scratch) bool {
 	seen := 1
 	for qi := 0; qi < len(s.queue); qi++ {
 		u := s.queue[qi]
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(u) {
 			if s.visit(v, epoch) {
 				seen++
 			}
@@ -90,14 +90,14 @@ func (g *Graph) ConnectedWith(s *Scratch) bool {
 // BFSWith runs a breadth-first search from src reusing the scratch and
 // appends (node, dist) pairs in visit order via fn. It allocates nothing.
 func (g *Graph) BFSWith(s *Scratch, src int, fn func(v, dist int)) {
-	epoch := s.begin(len(g.adj))
+	epoch := s.begin(g.N())
 	s.visit(src, epoch)
 	s.dist[src] = 0
 	fn(src, 0)
 	for qi := 0; qi < len(s.queue); qi++ {
 		u := s.queue[qi]
 		du := s.dist[u]
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(u) {
 			if s.visit(v, epoch) {
 				s.dist[v] = du + 1
 				fn(v, du+1)
@@ -114,7 +114,7 @@ func (g *Graph) KHopWith(s *Scratch, v, k int, dst []int) []int {
 	if k < 0 {
 		panic("graph: negative k")
 	}
-	epoch := s.begin(len(g.adj))
+	epoch := s.begin(g.N())
 	s.visit(v, epoch)
 	s.dist[v] = 0
 	dst = append(dst, v)
@@ -124,7 +124,7 @@ func (g *Graph) KHopWith(s *Scratch, v, k int, dst []int) []int {
 		if du == k {
 			continue
 		}
-		for _, w := range g.adj[u] {
+		for _, w := range g.Neighbors(u) {
 			if s.visit(w, epoch) {
 				s.dist[w] = du + 1
 				dst = append(dst, w)
@@ -142,12 +142,12 @@ func (g *Graph) InducedConnected(s *Scratch, set *Bitset) bool {
 	if count <= 1 {
 		return true
 	}
-	epoch := s.begin(len(g.adj))
+	epoch := s.begin(g.N())
 	s.visit(set.Min(), epoch)
 	seen := 1
 	for qi := 0; qi < len(s.queue); qi++ {
 		u := s.queue[qi]
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(u) {
 			if set.Has(v) && s.visit(v, epoch) {
 				seen++
 			}

@@ -1,0 +1,39 @@
+package mocds
+
+import (
+	"testing"
+
+	"clustercast/internal/cluster"
+	"clustercast/internal/coverage"
+	"clustercast/internal/geom"
+	"clustercast/internal/rng"
+	"clustercast/internal/topology"
+)
+
+// TestNodesFromParallelBitIdentical proves the sharded MO_CDS fold returns
+// the same membership as the sequential workspace path for every worker
+// count, across reuse of a single parallel workspace. Run with -race to
+// exercise the shard isolation.
+func TestNodesFromParallelBitIdentical(t *testing.T) {
+	ws := NewWorkspace()
+	pw := NewParallelWorkspace()
+	for rep := 0; rep < 8; rep++ {
+		nw, err := topology.Generate(topology.Config{
+			N: 150, Bounds: geom.Square(100), AvgDegree: 9,
+			RequireConnected: true,
+		}, rng.New(uint64(1300+rep)))
+		if err != nil {
+			t.Fatalf("rep %d: generate: %v", rep, err)
+		}
+		cl := cluster.LowestID(nw.G)
+		b := coverage.NewBuilder(nw.G, cl, coverage.Hop3)
+		want := ws.NodesFrom(b, cl)
+		for _, workers := range []int{1, 2, 3, 7, 64} {
+			got := pw.NodesFrom(b, cl, workers)
+			if !got.Equal(want) {
+				t.Fatalf("rep %d workers %d: parallel membership diverges: got %v want %v",
+					rep, workers, got.Members(), want.Members())
+			}
+		}
+	}
+}

@@ -393,7 +393,7 @@ func Run(g *graph.Graph, mode coverage.Mode) *Outcome {
 func (nd *node) assembleCoverage(mode coverage.Mode, n int) *coverage.Coverage {
 	cov := &coverage.Coverage{
 		Head: nd.id, Mode: mode,
-		C2: graph.NewBitset(n), C3: graph.NewBitset(n),
+		C2: graph.NewHybridSet(n), C3: graph.NewHybridSet(n),
 	}
 	// First pass over the (sorted) neighbors fills C² completely, because
 	// the C³ pass below must filter against it. Per-neighbor lists are

@@ -1,7 +1,9 @@
 package topology
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -49,8 +51,36 @@ func TestGenerateDisconnectedBudget(t *testing.T) {
 		N: 30, Bounds: geom.Square(100), Radius: 0.5,
 		RequireConnected: true, MaxAttempts: 5,
 	}, r)
-	if err != ErrDisconnected {
+	if !errors.Is(err, ErrDisconnected) {
 		t.Fatalf("want ErrDisconnected, got %v", err)
+	}
+	// The wrapped error names the infeasible configuration so a failed CLI
+	// run explains itself.
+	for _, part := range []string{"n=30", "attempts"} {
+		if !strings.Contains(err.Error(), part) {
+			t.Fatalf("error %q does not mention %q", err, part)
+		}
+	}
+}
+
+func TestDefaultMaxAttemptsBounded(t *testing.T) {
+	if got := defaultMaxAttempts(100); got != 10000 {
+		t.Fatalf("paper-scale default changed: %d", got)
+	}
+	if got := defaultMaxAttempts(2_000_000); got < 10 || got > 100 {
+		t.Fatalf("large-n default not scaled down: %d", got)
+	}
+	// The total placement budget stays bounded across sizes (up to the
+	// 10-attempt floor that keeps rejection sampling meaningful).
+	for _, n := range []int{10_000, 100_000, 10_000_000} {
+		work := int64(defaultMaxAttempts(n)) * int64(n)
+		ceiling := int64(25_000_000)
+		if floor := int64(10) * int64(n); floor > ceiling {
+			ceiling = floor
+		}
+		if work > ceiling {
+			t.Fatalf("n=%d: default budget %d placements is unbounded", n, work)
+		}
 	}
 }
 

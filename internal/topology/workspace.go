@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"fmt"
 	"sort"
 
 	"clustercast/internal/geom"
@@ -24,7 +25,6 @@ type Workspace struct {
 	deg       []int
 	off       []int
 	backing   []int
-	adj       [][]int
 	scratch   *graph.Scratch
 	g         graph.Graph
 	nw        Network
@@ -45,7 +45,7 @@ func GenerateWith(c Config, ws *Workspace, r *rng.Stream) (*Network, error) {
 	radius := c.radius()
 	attempts := c.MaxAttempts
 	if attempts <= 0 {
-		attempts = 10000
+		attempts = defaultMaxAttempts(c.N)
 	}
 	for a := 0; a < attempts; a++ {
 		nw := ws.place(c.N, c.Bounds, radius, r)
@@ -53,7 +53,26 @@ func GenerateWith(c Config, ws *Workspace, r *rng.Stream) (*Network, error) {
 			return nw, nil
 		}
 	}
-	return nil, ErrDisconnected
+	return nil, fmt.Errorf("topology: no connected unit-disk sample for n=%d (target degree %.3g, radius %.4g, bounds %.4gx%.4g) after %d attempts — the density is likely below the connectivity threshold; raise AvgDegree/Radius or MaxAttempts, or clear RequireConnected: %w",
+		c.N, c.AvgDegree, radius, c.Bounds.Width(), c.Bounds.Height(), attempts, ErrDisconnected)
+}
+
+// defaultMaxAttempts bounds connected-only rejection sampling when the
+// caller sets no explicit MaxAttempts: the paper-scale default of 10000
+// attempts, scaled down once a single placement becomes expensive so an
+// infeasible configuration (large n, sub-threshold degree) fails in
+// bounded time with the descriptive error above instead of effectively
+// hanging. Callers that pass MaxAttempts are unaffected.
+func defaultMaxAttempts(n int) int {
+	const budget = 20_000_000 // total node placements we are willing to spend
+	if n <= budget/10000 {
+		return 10000
+	}
+	a := budget / n
+	if a < 10 {
+		a = 10
+	}
+	return a
 }
 
 // place positions n nodes uniformly into the workspace buffers and builds
@@ -79,17 +98,27 @@ func (ws *Workspace) place(n int, bounds geom.Rect, radius float64, r *rng.Strea
 }
 
 // build constructs the unit disk graph over the positions into the
-// workspace graph, reusing the grid, the packed edge list and the adjacency
-// backing. It is the single implementation behind buildUnitDiskGraph and
+// workspace graph, reusing the grid, the packed edge list and the CSR
+// arrays. It is the single implementation behind buildUnitDiskGraph and
 // the zero-allocation replicate path.
+//
+// The graph is assembled directly in compressed-sparse-row form: degrees
+// are counted during the pair sweep, offsets are one prefix-sum pass, the
+// flat neighbor array is filled with per-node cursors, and each segment is
+// insertion-sorted in place. The handoff to the graph is the trusted
+// RenewCSR — the half-neighborhood sweep visits every unordered pair at
+// most once and never pairs a node with itself, so the symmetric/
+// duplicate-free/in-range validation Renew would re-run is guaranteed by
+// construction.
 func (ws *Workspace) build(positions []geom.Point, bounds geom.Rect, radius float64) *graph.Graph {
 	n := len(positions)
-	ws.ensureAdj(n)
+	ws.ensureCSR(n)
 	if radius < 0 {
-		for i := range ws.adj {
-			ws.adj[i] = nil
+		off := ws.off
+		for i := range off {
+			off[i] = 0
 		}
-		ws.g.Renew(ws.adj)
+		ws.g.RenewCSR(off, ws.backing[:0])
 		return &ws.g
 	}
 	gridCell := radius
@@ -138,18 +167,14 @@ func (ws *Workspace) build(positions []geom.Point, bounds geom.Rect, radius floa
 		cur[v]++
 	}
 	for u := 0; u < n; u++ {
-		ws.adj[u] = backing[off[u]:off[u+1]:off[u+1]]
+		sortShortPos(backing[off[u]:off[u+1]])
 	}
-	ws.g.Renew(ws.adj)
+	ws.g.RenewCSR(off, backing)
 	return &ws.g
 }
 
-// ensureAdj sizes the per-node slices for n nodes.
-func (ws *Workspace) ensureAdj(n int) {
-	if cap(ws.adj) < n {
-		ws.adj = make([][]int, n)
-	}
-	ws.adj = ws.adj[:n]
+// ensureCSR sizes the degree/offset buffers for n nodes.
+func (ws *Workspace) ensureCSR(n int) {
 	if cap(ws.deg) < n {
 		ws.deg = make([]int, n)
 	}
