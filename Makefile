@@ -3,7 +3,7 @@ GO ?= go
 # Baseline the bench-compare target diffs against.
 BENCH_BASELINE ?= BENCH_PR3.json
 
-.PHONY: all ci build vet test test-race bench-smoke bench bench-compare bench-scale figures
+.PHONY: all ci build vet test test-race bench-smoke bench bench-compare bench-scale figures trace-smoke
 
 all: vet test
 
@@ -50,3 +50,16 @@ bench:
 # Regenerate the paper's figures (CSV + markdown under figures/).
 figures:
 	$(GO) run ./cmd/figures
+
+# Observability smoke: record a traced dynamic-backbone broadcast with its
+# run manifest, then replay the trace through the inspector (which
+# reconciles the event stream against itself). Artifacts land in artifacts/
+# for CI upload.
+trace-smoke:
+	mkdir -p artifacts
+	$(GO) run ./cmd/manetsim -n 60 -d 8 -seed 7 -source 0 -protocols dynamic-2.5 \
+		-trace artifacts/trace.jsonl -manifest artifacts/manifest.json
+	$(GO) run ./cmd/trace artifacts/trace.jsonl
+	$(GO) run ./cmd/scale -n 500 -d 12 -reps 1 -stages dynamic25 \
+		-trace artifacts/scale-trace.jsonl -manifest artifacts/scale-manifest.json
+	$(GO) run ./cmd/trace artifacts/scale-trace.jsonl

@@ -25,21 +25,23 @@ import (
 	"strings"
 
 	"clustercast/internal/experiment"
+	"clustercast/internal/obs"
 	"clustercast/internal/prof"
 	"clustercast/internal/stats"
 )
 
 // config holds the parsed command line.
 type config struct {
-	fig     string
-	format  string
-	seed    uint64
-	quick   bool
-	maxN    int
-	outDir  string
-	workers int
-	cpuProf string
-	memProf string
+	fig      string
+	format   string
+	seed     uint64
+	quick    bool
+	maxN     int
+	outDir   string
+	workers  int
+	cpuProf  string
+	memProf  string
+	manifest string
 }
 
 // figureOrder is the canonical listing: the paper's figures first, then
@@ -99,13 +101,29 @@ func runners(cfg config, rule stats.StopRule, ns []int) map[string]func() *exper
 	}
 }
 
-// run executes the command against the given writer; exit-worthy problems
-// come back as errors.
-func run(cfg config, stdout io.Writer) error {
+// run executes the command against the given writers; exit-worthy problems
+// come back as errors, diagnostics (missing-point causes) go to stderr.
+func run(cfg config, stdout, stderr io.Writer) error {
 	if cfg.outDir != "" {
 		if err := os.MkdirAll(cfg.outDir, 0o755); err != nil {
 			return err
 		}
+		// A figure directory gets a manifest next to its CSVs by default.
+		if cfg.manifest == "" {
+			cfg.manifest = filepath.Join(cfg.outDir, "manifest.json")
+		}
+	}
+	var manifest *obs.Manifest
+	if cfg.manifest != "" {
+		obs.Enable()
+		defer obs.Disable()
+		obs.Default.Reset()
+		obs.ResetStages()
+		manifest = obs.NewManifest("figures")
+		manifest.Seed = cfg.seed
+		manifest.Workers = cfg.workers
+		manifest.Param("fig", cfg.fig).Param("format", cfg.format).
+			Param("quick", cfg.quick).Param("maxn", cfg.maxN)
 	}
 	experiment.SetParallelism(cfg.workers)
 	rule := stats.PaperRule()
@@ -138,10 +156,14 @@ func run(cfg config, stdout io.Writer) error {
 
 	for _, name := range picks {
 		f := all[name]()
+		warnMissing(stderr, f)
 		if cfg.outDir != "" {
 			path := filepath.Join(cfg.outDir, f.ID+".csv")
 			if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
 				return err
+			}
+			if manifest != nil {
+				manifest.AddOutput(path)
 			}
 		}
 		switch cfg.format {
@@ -161,7 +183,35 @@ func run(cfg config, stdout io.Writer) error {
 			return fmt.Errorf("unknown format %q", cfg.format)
 		}
 	}
+	if manifest != nil {
+		manifest.AddOutput(cfg.manifest)
+		if err := manifest.WriteFile(cfg.manifest); err != nil {
+			return fmt.Errorf("writing manifest: %w", err)
+		}
+	}
 	return nil
+}
+
+// warnMissing diagnoses missing points on stderr. Renderers mark a failed
+// measurement as "n/a" / an empty CSV cell; without this, the topology
+// generator's descriptive error (attempt cap exhausted, and why) never
+// reached the user.
+func warnMissing(stderr io.Writer, f *experiment.Figure) {
+	missing := 0
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.Missing() {
+				missing++
+			}
+		}
+	}
+	if missing == 0 {
+		return
+	}
+	fmt.Fprintf(stderr, "figures: warning: %s has %d missing point(s)\n", f.ID, missing)
+	if err := experiment.TakeSampleError(); err != nil {
+		fmt.Fprintf(stderr, "figures: warning: first sampling failure: %v\n", err)
+	}
 }
 
 func main() {
@@ -177,6 +227,8 @@ func main() {
 		"replication worker count (0: GOMAXPROCS); results are bit-identical for any value")
 	flag.StringVar(&cfg.cpuProf, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&cfg.memProf, "memprofile", "", "write a heap profile to this file after the run")
+	flag.StringVar(&cfg.manifest, "manifest", "",
+		"write a run manifest (JSON) to this file (default <out>/manifest.json when -out is set)")
 	flag.Parse()
 
 	stopProf, err := prof.Start(cfg.cpuProf, cfg.memProf)
@@ -184,7 +236,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 		os.Exit(1)
 	}
-	runErr := run(cfg, os.Stdout)
+	runErr := run(cfg, os.Stdout, os.Stderr)
 	if err := stopProf(); err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 		os.Exit(1)

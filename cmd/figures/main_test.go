@@ -3,11 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"clustercast/internal/obs"
 	"clustercast/internal/stats"
 )
 
@@ -19,7 +21,7 @@ func quickCfg() config {
 func TestRunMarkdown(t *testing.T) {
 	var out bytes.Buffer
 	cfg := quickCfg()
-	if err := run(cfg, &out); err != nil {
+	if err := run(cfg, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "### delivery") {
@@ -32,7 +34,7 @@ func TestRunCSVAndChart(t *testing.T) {
 		var out bytes.Buffer
 		cfg := quickCfg()
 		cfg.format = format
-		if err := run(cfg, &out); err != nil {
+		if err := run(cfg, &out, io.Discard); err != nil {
 			t.Fatalf("%s: %v", format, err)
 		}
 		if out.Len() == 0 {
@@ -53,7 +55,7 @@ func TestRunCSVAndChart(t *testing.T) {
 func TestRunUnknownFigure(t *testing.T) {
 	cfg := quickCfg()
 	cfg.fig = "nope"
-	if err := run(cfg, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "unknown figure") {
+	if err := run(cfg, &bytes.Buffer{}, io.Discard); err == nil || !strings.Contains(err.Error(), "unknown figure") {
 		t.Fatalf("want unknown-figure error, got %v", err)
 	}
 }
@@ -61,7 +63,7 @@ func TestRunUnknownFigure(t *testing.T) {
 func TestRunUnknownFormat(t *testing.T) {
 	cfg := quickCfg()
 	cfg.format = "yaml"
-	if err := run(cfg, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "unknown format") {
+	if err := run(cfg, &bytes.Buffer{}, io.Discard); err == nil || !strings.Contains(err.Error(), "unknown format") {
 		t.Fatalf("want unknown-format error, got %v", err)
 	}
 }
@@ -69,7 +71,7 @@ func TestRunUnknownFormat(t *testing.T) {
 func TestRunBadMaxN(t *testing.T) {
 	cfg := quickCfg()
 	cfg.maxN = 5
-	if err := run(cfg, &bytes.Buffer{}); err == nil {
+	if err := run(cfg, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Fatal("maxn below the smallest sweep size must error")
 	}
 }
@@ -78,7 +80,7 @@ func TestRunOutDir(t *testing.T) {
 	dir := t.TempDir()
 	cfg := quickCfg()
 	cfg.outDir = dir
-	if err := run(cfg, &bytes.Buffer{}); err != nil {
+	if err := run(cfg, &bytes.Buffer{}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "delivery.csv"))
@@ -87,6 +89,63 @@ func TestRunOutDir(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(data), "x,") {
 		t.Fatalf("CSV file content wrong: %q", string(data[:20]))
+	}
+}
+
+// TestRunOutDirManifest: -out writes a run manifest beside the CSVs, with
+// per-stage replicate timing, the metric snapshot, and every output file;
+// and enabling the obs layer must not perturb the replicated numbers —
+// the CSVs stay byte-identical across worker counts.
+func TestRunOutDirManifest(t *testing.T) {
+	csvs := map[int][]byte{}
+	var m *obs.Manifest
+	for _, workers := range []int{1, 2} {
+		dir := t.TempDir()
+		cfg := quickCfg()
+		cfg.fig = "6a" // workspace sweep path: carries per-stage timing
+		cfg.outDir = dir
+		cfg.workers = workers
+		if err := run(cfg, &bytes.Buffer{}, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		if obs.Enabled() {
+			t.Fatal("run left the obs layer enabled")
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "fig6a.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		csvs[workers] = data
+		if m, err = obs.ReadManifest(filepath.Join(dir, "manifest.json")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(csvs[1], csvs[2]) {
+		t.Fatal("CSV output differs between -workers 1 and -workers 2 with manifests enabled")
+	}
+	if m.Tool != "figures" || m.Seed != 7 || m.Params["fig"] != "6a" {
+		t.Fatalf("manifest identity wrong: %+v", m)
+	}
+	stages := map[string]obs.StageStat{}
+	for _, st := range m.Stages {
+		stages[st.Name] = st
+	}
+	if st := stages["replicate"]; st.Count == 0 || st.WallNs <= 0 {
+		t.Fatalf("manifest missing replicate stage stats: %v", m.Stages)
+	}
+	counters := map[string]int64{}
+	for _, c := range m.Metrics.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["replicate.observations"] == 0 {
+		t.Fatalf("manifest missing replicate.observations: %v", m.Metrics.Counters)
+	}
+	found := false
+	for _, out := range m.Outputs {
+		found = found || strings.HasSuffix(out, "fig6a.csv")
+	}
+	if !found {
+		t.Fatalf("manifest outputs missing fig6a.csv: %v", m.Outputs)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"clustercast/internal/coverage"
 	"clustercast/internal/fwdtree"
 	"clustercast/internal/marking"
+	"clustercast/internal/obs"
 	"clustercast/internal/passive"
 	"clustercast/internal/prof"
 	"clustercast/internal/rng"
@@ -42,6 +43,8 @@ type config struct {
 	workers   int
 	cpuProf   string
 	memProf   string
+	trace     string
+	manifest  string
 }
 
 // protocolRun is one row of the comparison table.
@@ -50,30 +53,43 @@ type protocolRun struct {
 	run  func() (*broadcast.Result, error)
 }
 
-// buildRuns assembles the protocol table for a network and source.
-func buildRuns(nw *core.Network, src int, seed uint64) []protocolRun {
+// buildRuns assembles the protocol table for a network and source. A
+// non-nil tr threads the trace recorder through whichever engine the row
+// uses; run() guarantees at most one traced row executes, so the trace
+// holds exactly one broadcast.
+func buildRuns(nw *core.Network, src int, seed uint64, tr *obs.Tracer) []protocolRun {
 	g := nw.Graph()
 	nb := broadcast.NewNeighborhood(g)
 	ok := func(r *broadcast.Result) (*broadcast.Result, error) { return r, nil }
+	opt := broadcast.Options{Tracer: tr}
+	topt := broadcast.TimedOptions{Tracer: tr}
+	static := func(mode core.Mode) (*broadcast.Result, error) {
+		s := nw.StaticBackbone(mode)
+		return ok(broadcast.RunOpts(g, src, broadcast.StaticCDS{Set: s.Nodes, Label: "static-" + s.Mode.String()}, opt))
+	}
+	dynamic := func(mode core.Mode) (*broadcast.Result, error) {
+		p := nw.DynamicProtocol(mode)
+		p.SetTracer(tr)
+		return ok(p.Broadcast(src))
+	}
 	return []protocolRun{
-		{"flooding", func() (*broadcast.Result, error) { return ok(nw.Flood(src)) }},
+		{"flooding", func() (*broadcast.Result, error) { return ok(broadcast.RunOpts(g, src, broadcast.Flooding{}, opt)) }},
 		{"gossip", func() (*broadcast.Result, error) {
-			return ok(broadcast.Run(g, src, broadcast.Gossip{P: 0.7, Seed: seed}))
+			return ok(broadcast.RunOpts(g, src, broadcast.Gossip{P: 0.7, Seed: seed}, opt))
 		}},
-		{"mpr", func() (*broadcast.Result, error) { return ok(broadcast.Run(g, src, broadcast.NewMPR(nb))) }},
-		{"dp", func() (*broadcast.Result, error) { return ok(broadcast.Run(g, src, broadcast.NewDP(nb))) }},
-		{"pdp", func() (*broadcast.Result, error) { return ok(broadcast.Run(g, src, broadcast.NewPDP(nb))) }},
-		{"static-2.5", func() (*broadcast.Result, error) {
-			return ok(nw.BroadcastStatic(nw.StaticBackbone(core.Hop25), src))
+		{"mpr", func() (*broadcast.Result, error) { return ok(broadcast.RunOpts(g, src, broadcast.NewMPR(nb), opt)) }},
+		{"dp", func() (*broadcast.Result, error) { return ok(broadcast.RunOpts(g, src, broadcast.NewDP(nb), opt)) }},
+		{"pdp", func() (*broadcast.Result, error) { return ok(broadcast.RunOpts(g, src, broadcast.NewPDP(nb), opt)) }},
+		{"static-2.5", func() (*broadcast.Result, error) { return static(core.Hop25) }},
+		{"static-3", func() (*broadcast.Result, error) { return static(core.Hop3) }},
+		{"dynamic-2.5", func() (*broadcast.Result, error) { return dynamic(core.Hop25) }},
+		{"dynamic-3", func() (*broadcast.Result, error) { return dynamic(core.Hop3) }},
+		{"mo-cds", func() (*broadcast.Result, error) {
+			c := nw.MOCDS()
+			return ok(broadcast.RunOpts(g, src, broadcast.StaticCDS{Set: c.Nodes, Label: "mo-cds"}, opt))
 		}},
-		{"static-3", func() (*broadcast.Result, error) {
-			return ok(nw.BroadcastStatic(nw.StaticBackbone(core.Hop3), src))
-		}},
-		{"dynamic-2.5", func() (*broadcast.Result, error) { return ok(nw.DynamicBroadcast(core.Hop25, src)) }},
-		{"dynamic-3", func() (*broadcast.Result, error) { return ok(nw.DynamicBroadcast(core.Hop3, src)) }},
-		{"mo-cds", func() (*broadcast.Result, error) { return ok(nw.BroadcastMOCDS(nw.MOCDS(), src)) }},
 		{"marking", func() (*broadcast.Result, error) {
-			return ok(broadcast.Run(g, src, broadcast.StaticCDS{Set: marking.Build(g), Label: "marking"}))
+			return ok(broadcast.RunOpts(g, src, broadcast.StaticCDS{Set: marking.Build(g), Label: "marking"}, opt))
 		}},
 		{"fwd-tree", func() (*broadcast.Result, error) {
 			b := coverage.NewBuilder(g, nw.Clustering, coverage.Hop25)
@@ -81,23 +97,26 @@ func buildRuns(nw *core.Network, src int, seed uint64) []protocolRun {
 			if err != nil {
 				return nil, err
 			}
-			return ok(broadcast.Run(g, src, broadcast.StaticCDS{Set: tree.Nodes, Label: "fwd-tree"}))
+			return ok(broadcast.RunOpts(g, src, broadcast.StaticCDS{Set: tree.Nodes, Label: "fwd-tree"}, opt))
 		}},
 		{"passive", func() (*broadcast.Result, error) {
+			if tr != nil {
+				return nil, fmt.Errorf("tracing is not supported for the multi-round passive series")
+			}
 			series := passive.RunSeries(g, []int{src, src, src})
 			return ok(series[len(series)-1])
 		}},
 		{"sba", func() (*broadcast.Result, error) {
-			return ok(broadcast.RunTimed(g, src, broadcast.NewSBA(nb, 4, seed)))
+			return ok(broadcast.RunTimedOpts(g, src, broadcast.NewSBA(nb, 4, seed), topt))
 		}},
 		{"counter-3", func() (*broadcast.Result, error) {
-			return ok(broadcast.RunTimed(g, src, broadcast.CounterBased{Threshold: 3, MaxDelay: 4, Seed: seed}))
+			return ok(broadcast.RunTimedOpts(g, src, broadcast.CounterBased{Threshold: 3, MaxDelay: 4, Seed: seed}, topt))
 		}},
 		{"distance", func() (*broadcast.Result, error) {
-			return ok(broadcast.RunTimed(g, src, broadcast.DistanceBased{
+			return ok(broadcast.RunTimedOpts(g, src, broadcast.DistanceBased{
 				Positions: nw.Topology.Positions, MinDistance: nw.Topology.Radius * 0.4,
 				MaxDelay: 4, Seed: seed,
-			}))
+			}, topt))
 		}},
 	}
 }
@@ -123,6 +142,19 @@ func loadNetwork(cfg *config) (*core.Network, error) {
 
 // run executes the command against the given writer.
 func run(cfg config, stdout io.Writer) error {
+	var manifest *obs.Manifest
+	if cfg.manifest != "" {
+		obs.Enable()
+		defer obs.Disable()
+		obs.Default.Reset()
+		obs.ResetStages()
+		manifest = obs.NewManifest("manetsim")
+		manifest.Seed = cfg.seed
+		manifest.Workers = cfg.workers
+		manifest.Param("n", cfg.n).Param("d", cfg.d).Param("source", cfg.source).
+			Param("protocols", cfg.protocols).Param("load", cfg.load).Param("wire", cfg.wire)
+	}
+
 	nw, err := loadNetwork(&cfg)
 	if err != nil {
 		return err
@@ -144,7 +176,16 @@ func run(cfg config, stdout io.Writer) error {
 			want[strings.TrimSpace(p)] = true
 		}
 	}
-	runs := buildRuns(nw, src, cfg.seed)
+	var tracer *obs.Tracer
+	if cfg.trace != "" {
+		// A trace file holds exactly one broadcast, so the protocol must be
+		// unambiguous.
+		if cfg.protocols == "all" || len(want) != 1 {
+			return fmt.Errorf("-trace needs exactly one protocol selected (e.g. -protocols dynamic-2.5)")
+		}
+		tracer = obs.NewTracer(16 * cfg.n)
+	}
+	runs := buildRuns(nw, src, cfg.seed, tracer)
 	known := map[string]bool{}
 	for _, r := range runs {
 		known[r.name] = true
@@ -168,10 +209,35 @@ func run(cfg config, stdout io.Writer) error {
 			r.name, res.ForwardCount(), 100*res.DeliveryRatio(cfg.n), res.Latency)
 	}
 
+	if tracer != nil {
+		f, err := os.Create(cfg.trace)
+		if err != nil {
+			return err
+		}
+		werr := tracer.WriteJSONL(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing trace: %w", werr)
+		}
+		fmt.Fprintf(stdout, "\ntrace: %s (%d events, %d dropped)\n", cfg.trace, tracer.Len(), tracer.Dropped())
+		if manifest != nil {
+			manifest.AddOutput(cfg.trace)
+		}
+	}
+
 	if cfg.wire {
 		out := sim.Run(nw.Graph(), core.Hop25)
 		fmt.Fprintf(stdout, "\nwire protocol (2.5-hop): %s\n", out.Counters.String())
 		fmt.Fprintf(stdout, "distributed backbone size: %d\n", len(out.Backbone))
+	}
+
+	if manifest != nil {
+		manifest.AddOutput(cfg.manifest)
+		if err := manifest.WriteFile(cfg.manifest); err != nil {
+			return fmt.Errorf("writing manifest: %w", err)
+		}
 	}
 	return nil
 }
@@ -190,6 +256,9 @@ func main() {
 		"cap the Go scheduler's processor count (0: leave GOMAXPROCS at the default); single runs are sequential either way")
 	flag.StringVar(&cfg.cpuProf, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&cfg.memProf, "memprofile", "", "write a heap profile to this file after the run")
+	flag.StringVar(&cfg.trace, "trace", "",
+		"record the broadcast's event stream (JSONL) to this file; requires exactly one -protocols entry")
+	flag.StringVar(&cfg.manifest, "manifest", "", "write a run manifest (JSON) to this file")
 	flag.Parse()
 
 	if cfg.workers > 0 {

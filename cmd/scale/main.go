@@ -12,13 +12,20 @@
 // that many goroutines (bit-identical to the sequential path; see
 // backbone.ParallelWorkspace).
 //
+// With -manifest the run records a reproducibility manifest (invocation,
+// environment, per-stage wall/alloc from the obs registry); with -trace the
+// first dynamic25 replicate records its broadcast event stream as JSONL
+// for cmd/trace.
+//
 //	scale -n 50000 -d 18 -seed 2003 -reps 3 -workers 4
 //	scale -n 10000 -stages dynamic25 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	scale -n 2000 -stages dynamic25 -trace trace.jsonl -manifest manifest.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -29,19 +36,22 @@ import (
 	"clustercast/internal/coverage"
 	"clustercast/internal/experiment"
 	"clustercast/internal/mocds"
+	"clustercast/internal/obs"
 	"clustercast/internal/prof"
 	"clustercast/internal/topology"
 )
 
 type config struct {
-	n       int
-	d       float64
-	seed    uint64
-	reps    int
-	workers int
-	stages  string
-	cpuProf string
-	memProf string
+	n        int
+	d        float64
+	seed     uint64
+	reps     int
+	workers  int
+	stages   string
+	cpuProf  string
+	memProf  string
+	manifest string
+	trace    string
 }
 
 func main() {
@@ -54,6 +64,8 @@ func main() {
 	flag.StringVar(&cfg.stages, "stages", "static25,mocds,dynamic25", "comma-separated stages to run")
 	flag.StringVar(&cfg.cpuProf, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&cfg.memProf, "memprofile", "", "write a heap profile to this file")
+	flag.StringVar(&cfg.manifest, "manifest", "", "write a run manifest (JSON) to this file")
+	flag.StringVar(&cfg.trace, "trace", "", "record the first dynamic25 replicate's event stream (JSONL) to this file")
 	flag.Parse()
 
 	if err := run(cfg, os.Stdout); err != nil {
@@ -63,14 +75,16 @@ func main() {
 }
 
 // stageFunc runs one kernel over an already-sampled network and returns its
-// headline measurement (backbone size or forward-node count).
-type stageFunc func(ws *experiment.Workspace, nw *topology.Network, source int) float64
+// headline measurement (backbone size or forward-node count). tr is non-nil
+// only on the replicate whose event stream the user asked to record; stages
+// without trace support ignore it.
+type stageFunc func(ws *experiment.Workspace, nw *topology.Network, source int, tr *obs.Tracer) float64
 
 func stageSet(workers int) map[string]stageFunc {
 	pbb := backbone.NewParallelWorkspace()
 	pmo := mocds.NewParallelWorkspace()
 	return map[string]stageFunc{
-		"static25": func(ws *experiment.Workspace, nw *topology.Network, _ int) float64 {
+		"static25": func(ws *experiment.Workspace, nw *topology.Network, _ int, _ *obs.Tracer) float64 {
 			cl := ws.Cluster.LowestID(nw.G)
 			ws.Builder.Reset(nw.G, cl, coverage.Hop25)
 			if workers > 1 {
@@ -78,7 +92,7 @@ func stageSet(workers int) map[string]stageFunc {
 			}
 			return float64(ws.Backbone.StaticSize(&ws.Builder, cl, backbone.Options{}))
 		},
-		"mocds": func(ws *experiment.Workspace, nw *topology.Network, _ int) float64 {
+		"mocds": func(ws *experiment.Workspace, nw *topology.Network, _ int, _ *obs.Tracer) float64 {
 			cl := ws.Cluster.LowestID(nw.G)
 			ws.Builder.Reset(nw.G, cl, coverage.Hop3)
 			if workers > 1 {
@@ -86,15 +100,21 @@ func stageSet(workers int) map[string]stageFunc {
 			}
 			return float64(ws.MOCDS.SizeFrom(&ws.Builder, cl))
 		},
-		"dynamic25": func(ws *experiment.Workspace, nw *topology.Network, source int) float64 {
+		"dynamic25": func(ws *experiment.Workspace, nw *topology.Network, source int, tr *obs.Tracer) float64 {
 			cl := ws.Cluster.LowestID(nw.G)
 			p := ws.Dynamic.NewWith(nw.G, cl, coverage.Hop25)
+			// Set unconditionally: the pooled protocol keeps its tracer
+			// across NewWith, so untraced replicates must clear it.
+			p.SetTracer(tr)
 			return float64(p.BroadcastWS(source).ForwardCount())
 		},
 	}
 }
 
-func run(cfg config, out *os.File) error {
+// tracedStage is the stage whose event stream -trace records.
+const tracedStage = "dynamic25"
+
+func run(cfg config, out io.Writer) error {
 	stages := stageSet(cfg.workers)
 	var names []string
 	for _, s := range strings.Split(cfg.stages, ",") {
@@ -111,6 +131,35 @@ func run(cfg config, out *os.File) error {
 		return fmt.Errorf("no stages selected")
 	}
 
+	var tracer *obs.Tracer
+	if cfg.trace != "" {
+		traced := false
+		for _, n := range names {
+			traced = traced || n == tracedStage
+		}
+		if !traced {
+			return fmt.Errorf("-trace needs the %s stage selected (have %s)", tracedStage, cfg.stages)
+		}
+		// One broadcast emits O(m) deliver/duplicate events plus the
+		// per-head protocol events; 16 slots per node keeps paper-density
+		// (d=18) traces loss-free with headroom.
+		tracer = obs.NewTracer(16 * cfg.n)
+	}
+
+	var manifest *obs.Manifest
+	if cfg.manifest != "" || cfg.trace != "" {
+		obs.Enable()
+		defer obs.Disable()
+		obs.Default.Reset()
+		obs.ResetStages()
+	}
+	if cfg.manifest != "" {
+		manifest = obs.NewManifest("scale")
+		manifest.Seed = cfg.seed
+		manifest.Workers = cfg.workers
+		manifest.Param("n", cfg.n).Param("d", cfg.d).Param("reps", cfg.reps).Param("stages", strings.Join(names, ","))
+	}
+
 	stopProf, err := prof.Start(cfg.cpuProf, cfg.memProf)
 	if err != nil {
 		return err
@@ -120,6 +169,8 @@ func run(cfg config, out *os.File) error {
 		cfg.n, cfg.d, cfg.seed, cfg.reps, cfg.workers, runtime.GOMAXPROCS(0))
 	ws := experiment.NewWorkspace()
 	sc := experiment.DefaultScenario(cfg.n, cfg.d, cfg.seed)
+	var clk obs.StageClock
+	var ms0, ms1 runtime.MemStats
 	for _, name := range names {
 		st := stages[name]
 		kernelTimes := make([]time.Duration, 0, cfg.reps)
@@ -127,12 +178,31 @@ func run(cfg config, out *os.File) error {
 			t0 := time.Now()
 			nw, _, ok := sc.SampleWS(ws, "scale-"+name, rep)
 			if !ok {
+				// SampleWS records the generator's diagnosis (attempt cap,
+				// connectivity); surface it instead of a generic shrug.
+				if serr := experiment.TakeSampleError(); serr != nil {
+					return fmt.Errorf("stage %s: %w", name, serr)
+				}
 				return fmt.Errorf("stage %s rep %d: no connected topology sampled (raise -d or lower -n)", name, rep)
 			}
 			sample := time.Since(t0)
+			var tr *obs.Tracer
+			if tracer != nil && name == tracedStage && rep == 0 {
+				tr = tracer
+			}
+			measured := obs.Enabled()
+			if measured {
+				runtime.ReadMemStats(&ms0)
+			}
 			t1 := time.Now()
-			v := st(ws, nw, cfg.n/2)
+			v := st(ws, nw, cfg.n/2, tr)
 			kernel := time.Since(t1)
+			if measured {
+				runtime.ReadMemStats(&ms1)
+				clk.Add(name+".sample", sample.Nanoseconds())
+				clk.Add(name+".kernel", kernel.Nanoseconds())
+				clk.AddAlloc(name+".kernel", int64(ms1.TotalAlloc-ms0.TotalAlloc))
+			}
 			kernelTimes = append(kernelTimes, kernel)
 			fmt.Fprintf(out, "%-10s rep=%d  sample=%-12v kernel=%-12v result=%g\n",
 				name, rep, sample.Round(time.Microsecond), kernel.Round(time.Microsecond), v)
@@ -141,11 +211,38 @@ func run(cfg config, out *os.File) error {
 		fmt.Fprintf(out, "%-10s median kernel %v over %d reps\n",
 			name, kernelTimes[len(kernelTimes)/2].Round(time.Microsecond), len(kernelTimes))
 	}
+	obs.MergeStages(&clk)
+
+	if tracer != nil {
+		f, err := os.Create(cfg.trace)
+		if err != nil {
+			return err
+		}
+		werr := tracer.WriteJSONL(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing trace: %w", werr)
+		}
+		fmt.Fprintf(out, "trace: %s (%d events, %d dropped)\n", cfg.trace, tracer.Len(), tracer.Dropped())
+		if manifest != nil {
+			manifest.AddOutput(cfg.trace)
+		}
+	}
 
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	fmt.Fprintf(out, "memory: heap-in-use=%.1f MiB  total-alloc=%.1f MiB  sys=%.1f MiB\n",
 		float64(ms.HeapInuse)/(1<<20), float64(ms.TotalAlloc)/(1<<20), float64(ms.Sys)/(1<<20))
+
+	if manifest != nil {
+		manifest.AddOutput(cfg.manifest)
+		if err := manifest.WriteFile(cfg.manifest); err != nil {
+			return fmt.Errorf("writing manifest: %w", err)
+		}
+		fmt.Fprintf(out, "manifest: %s\n", cfg.manifest)
+	}
 
 	return stopProf()
 }

@@ -18,6 +18,16 @@ import (
 	"clustercast/internal/cluster"
 	"clustercast/internal/coverage"
 	"clustercast/internal/graph"
+	"clustercast/internal/obs"
+)
+
+// Selection metrics, folded once per per-head greedy selection (both the
+// static pipeline and the dynamic backbone's per-broadcast selections run
+// through selectCore). Counters are atomic, so the sharded parallel
+// selection paths fold in safely.
+var (
+	mSelections  = obs.NewCounter("backbone.selections")
+	mGatewaysSel = obs.NewCounter("backbone.gateways_selected")
 )
 
 // Selection is the outcome of one clusterhead's gateway selection: the
@@ -258,6 +268,8 @@ func selectCore(cov *coverage.Coverage, need2, need3 *graph.HybridSet, opts Opti
 		rem3--
 	}
 	scr.selbuf = sel[:0]
+	mSelections.Inc()
+	mGatewaysSel.Add(int64(len(sel)))
 	return sel
 }
 

@@ -4,7 +4,14 @@ import (
 	"sort"
 
 	"clustercast/internal/graph"
+	"clustercast/internal/obs"
 	"clustercast/internal/rng"
+)
+
+// MAC-level metrics, folded once per RunMAC.
+var (
+	mMACCollisions = obs.NewCounter("mac.collisions")
+	mMACLostCopies = obs.NewCounter("mac.lost_copies")
 )
 
 // MACOptions configures the slotted collision model. The paper assumes
@@ -22,6 +29,9 @@ type MACOptions struct {
 	Jitter int
 	// Seed drives the jitter draws.
 	Seed uint64
+	// Tracer, when non-nil, records the run's typed event stream
+	// (including receiver-side collision events).
+	Tracer *obs.Tracer
 }
 
 // CollisionResult extends Result with MAC-level accounting.
@@ -67,15 +77,21 @@ func RunMAC(g *graph.Graph, source int, p Protocol, opt MACOptions) *CollisionRe
 	}
 
 	type tx struct {
-		sender int
-		pkt    Packet
+		sender  int
+		trigger int // upstream sender that caused this relay (-1: source)
+		pkt     Packet
 	}
 	// slots[t] holds the transmissions scheduled for slot t.
 	slots := map[int][]tx{}
+	tr := opt.Tracer
+	if tr != nil {
+		tr.SetTime(0)
+	}
 	start := p.Start(source)
 	mark(source, start)
-	slots[0] = append(slots[0], tx{source, start})
+	slots[0] = append(slots[0], tx{source, -1, start})
 	pending := 1
+	transmissions := 0
 
 	for t := 0; pending > 0; t++ {
 		batch := slots[t]
@@ -84,6 +100,13 @@ func RunMAC(g *graph.Graph, source int, p Protocol, opt MACOptions) *CollisionRe
 		}
 		pending -= len(batch)
 		delete(slots, t)
+		if tr != nil {
+			tr.SetTime(t + 1)
+			for _, x := range batch {
+				tr.Send(t, x.sender, x.trigger)
+			}
+		}
+		transmissions += len(batch)
 		// Receiver-side resolution: count transmitting neighbors per node.
 		heardBy := map[int][]tx{}
 		for _, x := range batch {
@@ -103,6 +126,9 @@ func RunMAC(g *graph.Graph, source int, p Protocol, opt MACOptions) *CollisionRe
 			if len(copies) > 1 {
 				res.Collisions++
 				res.LostCopies += len(copies)
+				if tr != nil {
+					tr.Collision(t+1, v)
+				}
 				continue // all copies destroyed at this receiver
 			}
 			x := copies[0]
@@ -114,9 +140,15 @@ func RunMAC(g *graph.Graph, source int, p Protocol, opt MACOptions) *CollisionRe
 				if t+1 > res.Latency {
 					res.Latency = t + 1
 				}
+				if tr != nil {
+					tr.Deliver(t+1, v, x.sender)
+				}
 				forward, out = p.OnReceive(v, x.sender, x.pkt)
 			} else {
 				res.Duplicates++
+				if tr != nil {
+					tr.Duplicate(t+1, v, x.sender)
+				}
 				if acted[v][x.pkt] {
 					continue
 				}
@@ -127,10 +159,16 @@ func RunMAC(g *graph.Graph, source int, p Protocol, opt MACOptions) *CollisionRe
 				mark(v, x.pkt)
 				mark(v, out)
 				slot := t + 1 + draw()
-				slots[slot] = append(slots[slot], tx{v, out})
+				slots[slot] = append(slots[slot], tx{v, x.sender, out})
 				pending++
 			}
 		}
 	}
+	mRuns.Inc()
+	mTransmissions.Add(int64(transmissions))
+	mDeliveries.Add(int64(len(res.Received) - 1))
+	mDuplicates.Add(int64(res.Duplicates))
+	mMACCollisions.Add(int64(res.Collisions))
+	mMACLostCopies.Add(int64(res.LostCopies))
 	return res
 }

@@ -24,6 +24,17 @@ import (
 	"strings"
 
 	"clustercast/internal/graph"
+	"clustercast/internal/obs"
+)
+
+// Engine-level metrics. Recording is gated inside obs (one atomic bool
+// load per Add when disabled), and the engines fold whole-run totals in a
+// single Add per run, so the per-neighbor hot loops stay untouched.
+var (
+	mRuns          = obs.NewCounter("broadcast.runs")
+	mTransmissions = obs.NewCounter("broadcast.transmissions")
+	mDeliveries    = obs.NewCounter("broadcast.deliveries")
+	mDuplicates    = obs.NewCounter("broadcast.duplicates")
 )
 
 // Packet is the protocol-specific payload piggybacked on a transmission.
@@ -110,6 +121,12 @@ type Options struct {
 	Loss float64
 	// Seed drives the loss coin flips; equal seeds replicate exactly.
 	Seed uint64
+	// Tracer, when non-nil, records a typed event stream of the broadcast
+	// (sends, deliveries, duplicate suppressions, plus the protocol-side
+	// gateway-select/coverage-prune events of protocols that carry the
+	// same tracer). nil — the default — costs one predicted branch per
+	// event site.
+	Tracer *obs.Tracer
 }
 
 // Run simulates one broadcast from source over g under the protocol with

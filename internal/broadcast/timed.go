@@ -4,6 +4,7 @@ import (
 	"container/heap"
 
 	"clustercast/internal/graph"
+	"clustercast/internal/obs"
 )
 
 // TimedProtocol is the interface for protocols that defer their forwarding
@@ -57,9 +58,21 @@ func (q *eventQueue) Pop() interface{} {
 	return it
 }
 
+// TimedOptions tunes a back-off broadcast run. The zero value is the
+// untraced default.
+type TimedOptions struct {
+	// Tracer, when non-nil, records the run's typed event stream.
+	Tracer *obs.Tracer
+}
+
 // RunTimed simulates one broadcast under a back-off protocol. Transmission
 // takes one time unit; the source transmits at time 0 unconditionally.
 func RunTimed(g *graph.Graph, source int, p TimedProtocol) *Result {
+	return RunTimedOpts(g, source, p, TimedOptions{})
+}
+
+// RunTimedOpts is RunTimed with explicit options.
+func RunTimedOpts(g *graph.Graph, source int, p TimedProtocol, opt TimedOptions) *Result {
 	res := &Result{
 		Source:     source,
 		Forwarders: map[int]bool{source: true},
@@ -68,6 +81,7 @@ func RunTimed(g *graph.Graph, source int, p TimedProtocol) *Result {
 	}
 	heard := make(map[int][]int)
 	decided := map[int]bool{source: true}
+	tr := opt.Tracer
 
 	var q eventQueue
 	seq := 0
@@ -76,21 +90,34 @@ func RunTimed(g *graph.Graph, source int, p TimedProtocol) *Result {
 		seq++
 	}
 	push(0, 0, source)
+	if tr != nil {
+		tr.Send(0, source, -1)
+	}
+	transmissions := 1
 
 	for q.Len() > 0 {
 		ev := heap.Pop(&q).(timedEvent)
 		switch ev.kind {
 		case 0: // transmission
+			if tr != nil {
+				tr.SetTime(ev.time + 1)
+			}
 			for _, v := range g.Neighbors(ev.node) {
 				heard[v] = append(heard[v], ev.node)
 				if res.Received[v] {
 					res.Duplicates++
+					if tr != nil {
+						tr.Duplicate(ev.time+1, v, ev.node)
+					}
 				}
 				if !res.Received[v] {
 					res.Received[v] = true
 					res.Parent[v] = ev.node
 					if ev.time+1 > res.Latency {
 						res.Latency = ev.time + 1
+					}
+					if tr != nil {
+						tr.Deliver(ev.time+1, v, ev.node)
 					}
 					// Schedule the decision after the back-off.
 					push(ev.time+1+p.Delay(v), 1, v)
@@ -104,10 +131,18 @@ func RunTimed(g *graph.Graph, source int, p TimedProtocol) *Result {
 			decided[v] = true
 			if p.Decide(v, heard[v]) {
 				res.Forwarders[v] = true
+				transmissions++
+				if tr != nil {
+					tr.Send(ev.time, v, res.Parent[v])
+				}
 				push(ev.time, 0, v)
 			}
 		}
 	}
+	mRuns.Inc()
+	mTransmissions.Add(int64(transmissions))
+	mDeliveries.Add(int64(len(res.Received) - 1))
+	mDuplicates.Add(int64(res.Duplicates))
 	return res
 }
 

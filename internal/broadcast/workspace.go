@@ -188,11 +188,21 @@ func (ws *Workspace) RunOpts(g *graph.Graph, source int, p Protocol, opt Options
 	if opt.Loss > 0 {
 		loss = rng.NewLabeled(opt.Seed, "radio-loss")
 	}
+	tr := opt.Tracer
+	if tr != nil {
+		tr.SetTime(0)
+	}
 	start := p.Start(source)
+	if tr != nil {
+		tr.Send(0, source, -1)
+	}
 	ws.markActed(source, start)
 	queue := append(ws.queue[:0], transmission{sender: source, pkt: start, time: 0})
 	for qi := 0; qi < len(queue); qi++ {
 		tx := queue[qi]
+		if tr != nil {
+			tr.SetTime(tx.time + 1)
+		}
 		for _, v := range g.Neighbors(tx.sender) {
 			if loss != nil && loss.Bool(opt.Loss) {
 				continue // this copy was lost on the air
@@ -206,9 +216,15 @@ func (ws *Workspace) RunOpts(g *graph.Graph, source int, p Protocol, opt Options
 				if tx.time+1 > res.Latency {
 					res.Latency = tx.time + 1
 				}
+				if tr != nil {
+					tr.Deliver(tx.time+1, v, tx.sender)
+				}
 				forward, out = p.OnReceive(v, tx.sender, tx.pkt)
 			} else {
 				res.Duplicates++
+				if tr != nil {
+					tr.Duplicate(tx.time+1, v, tx.sender)
+				}
 				if ws.actedOn(v, tx.pkt) {
 					continue
 				}
@@ -221,10 +237,17 @@ func (ws *Workspace) RunOpts(g *graph.Graph, source int, p Protocol, opt Options
 				}
 				ws.markActed(v, tx.pkt)
 				ws.markActed(v, out)
+				if tr != nil {
+					tr.Send(tx.time+1, v, tx.sender)
+				}
 				queue = append(queue, transmission{sender: v, pkt: out, time: tx.time + 1})
 			}
 		}
 	}
 	ws.queue = queue
+	mRuns.Inc()
+	mTransmissions.Add(int64(len(queue)))
+	mDeliveries.Add(int64(res.nReceived - 1))
+	mDuplicates.Add(int64(res.Duplicates))
 	return res
 }

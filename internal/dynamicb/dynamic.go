@@ -30,6 +30,20 @@ import (
 	"clustercast/internal/cluster"
 	"clustercast/internal/coverage"
 	"clustercast/internal/graph"
+	"clustercast/internal/obs"
+)
+
+// Per-rule pruning metrics: how often each exclusion of the updated
+// coverage rule C(v) ← C(v) − C(u) − {u} − CH(N(r)) fired, plus the
+// gateways the selections designated. The untraced-but-enabled path
+// counts them from set-cardinality deltas (no per-element work); the
+// traced path counts exactly the recorded events.
+var (
+	mPruneUpstream  = obs.NewCounter("dynamicb.prune.upstream_sender")
+	mPrunePiggyback = obs.NewCounter("dynamicb.prune.piggybacked_set")
+	mPruneSecondHop = obs.NewCounter("dynamicb.prune.second_hop_adjacent")
+	mGateways       = obs.NewCounter("dynamicb.gateways_selected")
+	mHeadPackets    = obs.NewCounter("dynamicb.head_packets")
 )
 
 // packet is the piggybacked payload of a dynamic-backbone transmission.
@@ -54,9 +68,16 @@ type Protocol struct {
 	g         *graph.Graph
 	cl        *cluster.Clustering
 	b         *coverage.Builder
-	covArena  []coverage.Coverage        // per-head full coverage sets
-	covByNode []*coverage.Coverage       // head ID -> its arena entry
-	sel       *backbone.Workspace        // gateway-selection scratch
+	covArena  []coverage.Coverage  // per-head full coverage sets
+	covByNode []*coverage.Coverage // head ID -> its arena entry
+	sel       *backbone.Workspace  // gateway-selection scratch
+
+	// tracer, when non-nil, receives gateway-select and per-rule
+	// coverage-prune events from every head packet this protocol builds.
+	// Attach the same tracer to the engine run (Broadcast/BroadcastWS do
+	// this automatically) so protocol events interleave with the packet
+	// events at the right simulation times.
+	tracer *obs.Tracer
 
 	// Packet/set arenas, active only for workspace-backed protocols:
 	// several head packets are alive within one broadcast, so the arenas
@@ -136,6 +157,14 @@ func (p *Protocol) allocPacket() *packet {
 	return pk
 }
 
+// SetTracer attaches (or, with nil, detaches) a trace recorder. Broadcast
+// and BroadcastWS hand the same tracer to the engine, so one attachment
+// yields the full interleaved event stream.
+func (p *Protocol) SetTracer(tr *obs.Tracer) { p.tracer = tr }
+
+// Tracer returns the attached trace recorder (nil when untraced).
+func (p *Protocol) Tracer() *obs.Tracer { return p.tracer }
+
 // Mode returns the coverage-set variant in use.
 func (p *Protocol) Mode() coverage.Mode { return p.b.Mode() }
 
@@ -174,23 +203,43 @@ func (p *Protocol) headPacket(v int, in *packet, x int) *packet {
 	need.Reset(n)
 	need.CopyFrom(cov.C2)
 	need.Or(cov.C3)
-	if in != nil {
-		if in.cov != nil {
-			need.AndNot(in.cov)
+	switch {
+	case p.tracer != nil:
+		// Traced: apply the exclusions element-wise so every pruned
+		// clusterhead is attributed to the rule that removed it. The
+		// resulting need set is identical to the wholesale path — the
+		// exclusions are plain set differences.
+		p.pruneTraced(need, in, v, x)
+	case obs.Enabled():
+		// Metrics only: wholesale set ops, per-rule totals recovered from
+		// cardinality deltas (Count on a sparse set is O(1)).
+		p.pruneCounted(need, in, x)
+	default:
+		if in != nil {
+			if in.cov != nil {
+				need.AndNot(in.cov)
+			}
+			if in.fromCH >= 0 {
+				need.Remove(in.fromCH)
+			}
 		}
-		if in.fromCH >= 0 {
-			need.Remove(in.fromCH)
-		}
-	}
-	if x >= 0 {
-		// Clusterheads adjacent to the immediate transmitter heard the
-		// same transmission v heard (the paper's N(r) exclusion).
-		for _, w := range p.b.CH1(x) {
-			need.Remove(w)
+		if x >= 0 {
+			// Clusterheads adjacent to the immediate transmitter heard the
+			// same transmission v heard (the paper's N(r) exclusion).
+			for _, w := range p.b.CH1(x) {
+				need.Remove(w)
+			}
 		}
 	}
 	fwd := p.allocHybrid(n)
 	p.sel.SelectInto(cov, need, need, backbone.Options{}, fwd)
+	if obs.Enabled() {
+		mHeadPackets.Inc()
+		mGateways.Add(int64(fwd.Count()))
+	}
+	if tr := p.tracer; tr != nil {
+		fwd.ForEach(func(w int) { tr.GatewaySelect(v, w) })
+	}
 	// Piggyback the FULL coverage set (paper: "F(3)={9} and C(3)={1,2,4}
 	// are piggybacked"): everything in C(v) either receives via F(v) or
 	// was excluded precisely because it already received.
@@ -201,6 +250,65 @@ func (p *Protocol) headPacket(v int, in *packet, x int) *packet {
 	pk := p.allocPacket()
 	*pk = packet{fromCH: v, cov: full, forward: fwd}
 	return pk
+}
+
+// pruneTraced applies the updated-coverage exclusions to need one element
+// at a time, recording a coverage-prune event (and bumping the per-rule
+// counter) for every clusterhead removed. Attribution order follows the
+// paper's formula: the upstream sender u first, then the piggybacked set
+// C(u), then the second-hop-adjacent heads CH(N(r)) — a head excluded by
+// several terms is attributed to the first.
+func (p *Protocol) pruneTraced(need *graph.HybridSet, in *packet, v, x int) {
+	tr := p.tracer
+	if in != nil {
+		if in.fromCH >= 0 && need.Has(in.fromCH) {
+			tr.CoveragePrune(v, in.fromCH, obs.RuleUpstreamSender)
+			mPruneUpstream.Inc()
+			need.Remove(in.fromCH)
+		}
+		if in.cov != nil {
+			in.cov.ForEach(func(w int) {
+				if need.Has(w) {
+					tr.CoveragePrune(v, w, obs.RulePiggybackedSet)
+					mPrunePiggyback.Inc()
+					need.Remove(w)
+				}
+			})
+		}
+	}
+	if x >= 0 {
+		for _, w := range p.b.CH1(x) {
+			if need.Has(w) {
+				tr.CoveragePrune(v, w, obs.RuleSecondHopAdjacent)
+				mPruneSecondHop.Inc()
+				need.Remove(w)
+			}
+		}
+	}
+}
+
+// pruneCounted is the wholesale exclusion path with per-rule totals
+// recovered from cardinality deltas. Attribution matches pruneTraced: the
+// upstream sender is removed (and counted) before the piggybacked set.
+func (p *Protocol) pruneCounted(need *graph.HybridSet, in *packet, x int) {
+	if in != nil {
+		if in.fromCH >= 0 && need.Has(in.fromCH) {
+			mPruneUpstream.Inc()
+			need.Remove(in.fromCH)
+		}
+		if in.cov != nil {
+			before := need.Count()
+			need.AndNot(in.cov)
+			mPrunePiggyback.Add(int64(before - need.Count()))
+		}
+	}
+	if x >= 0 {
+		before := need.Count()
+		for _, w := range p.b.CH1(x) {
+			need.Remove(w)
+		}
+		mPruneSecondHop.Add(int64(before - need.Count()))
+	}
 }
 
 // OnReceive implements broadcast.Protocol.
@@ -237,7 +345,7 @@ func (p *Protocol) OnDuplicate(v, x int, pkt broadcast.Packet) (bool, broadcast.
 // result. The forward node set of the paper's Figures 7 and 8 is
 // res.ForwardCount().
 func (p *Protocol) Broadcast(source int) *broadcast.Result {
-	return broadcast.Run(p.g, source, p)
+	return broadcast.RunOpts(p.g, source, p, broadcast.Options{Tracer: p.tracer})
 }
 
 // BroadcastWS runs one broadcast on the protocol's dense engine workspace
@@ -247,5 +355,5 @@ func (p *Protocol) BroadcastWS(source int) *broadcast.WSResult {
 	if p.bws == nil {
 		p.bws = broadcast.NewWorkspace()
 	}
-	return p.bws.Run(p.g, source, p)
+	return p.bws.RunOpts(p.g, source, p, broadcast.Options{Tracer: p.tracer})
 }

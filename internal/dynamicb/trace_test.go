@@ -1,0 +1,134 @@
+package dynamicb
+
+import (
+	"reflect"
+	"testing"
+
+	"clustercast/internal/cluster"
+	"clustercast/internal/coverage"
+	"clustercast/internal/obs"
+)
+
+// TestTracedBroadcastIdentical: attaching a tracer switches headPacket to
+// the element-wise pruning path, which must compute exactly the same need
+// sets (and therefore the same broadcast) as the wholesale path.
+func TestTracedBroadcastIdentical(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		nw, ok := randomNet(seed, 80, 8)
+		if !ok {
+			continue
+		}
+		cl := cluster.LowestID(nw.G)
+		for _, mode := range []coverage.Mode{coverage.Hop25, coverage.Hop3} {
+			plain := New(nw.G, cl, mode).Broadcast(0)
+
+			traced := New(nw.G, cl, mode)
+			tr := obs.NewTracer(1 << 16)
+			traced.SetTracer(tr)
+			got := traced.Broadcast(0)
+
+			if !reflect.DeepEqual(got.Forwarders, plain.Forwarders) ||
+				!reflect.DeepEqual(got.Received, plain.Received) ||
+				got.Duplicates != plain.Duplicates || got.Latency != plain.Latency {
+				t.Fatalf("seed %d mode %v: traced broadcast diverged", seed, mode)
+			}
+		}
+	}
+}
+
+// TestTracedBroadcastReconciles: the event stream accounts for the
+// broadcast it recorded — distinct senders are the forward node set,
+// deliveries cover every non-source receiver, and every prune carries one
+// of the three rules of the paper's updated-coverage formula.
+func TestTracedBroadcastReconciles(t *testing.T) {
+	nw, ok := randomNet(3, 80, 8)
+	if !ok {
+		t.Skip("no connected topology")
+	}
+	cl := cluster.LowestID(nw.G)
+	p := New(nw.G, cl, coverage.Hop25)
+	tr := obs.NewTracer(1 << 16)
+	p.SetTracer(tr)
+	res := p.Broadcast(0)
+	if tr.Dropped() != 0 {
+		t.Fatalf("ring dropped %d events", tr.Dropped())
+	}
+
+	senders := map[int]bool{}
+	delivered := map[int]bool{0: true}
+	sawSourceSend := false
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case obs.EvSend:
+			senders[ev.Node] = true
+			sawSourceSend = sawSourceSend || ev.Peer == -1
+		case obs.EvDeliver:
+			delivered[ev.Node] = true
+		case obs.EvCoveragePrune:
+			switch ev.Rule {
+			case obs.RuleUpstreamSender, obs.RulePiggybackedSet, obs.RuleSecondHopAdjacent:
+			default:
+				t.Fatalf("prune event without a rule: %+v", ev)
+			}
+		case obs.EvGatewaySelect:
+			if !cl.IsHead(ev.Node) {
+				t.Fatalf("gateway-select by non-clusterhead %d", ev.Node)
+			}
+		}
+	}
+	if !sawSourceSend {
+		t.Fatal("no source send (peer=-1) recorded")
+	}
+	if !reflect.DeepEqual(senders, res.Forwarders) {
+		t.Fatalf("distinct send nodes %d != forward node set %d", len(senders), res.ForwardCount())
+	}
+	if !reflect.DeepEqual(delivered, res.Received) {
+		t.Fatalf("delivered nodes %d != received set %d", len(delivered), len(res.Received))
+	}
+}
+
+// TestPruneCountersMatchTrace: the metrics-only wholesale path and the
+// traced element-wise path attribute identical per-rule totals.
+func TestPruneCountersMatchTrace(t *testing.T) {
+	nw, ok := randomNet(5, 80, 8)
+	if !ok {
+		t.Skip("no connected topology")
+	}
+	cl := cluster.LowestID(nw.G)
+	obs.Enable()
+	defer obs.Disable()
+	defer obs.Default.Reset()
+
+	count := func(traced bool) (up, piggy, second int64, events map[obs.PruneRule]int) {
+		obs.Default.Reset()
+		p := New(nw.G, cl, coverage.Hop25)
+		events = map[obs.PruneRule]int{}
+		if traced {
+			tr := obs.NewTracer(1 << 16)
+			p.SetTracer(tr)
+			p.Broadcast(0)
+			for _, ev := range tr.Events() {
+				if ev.Kind == obs.EvCoveragePrune {
+					events[ev.Rule]++
+				}
+			}
+		} else {
+			p.Broadcast(0)
+		}
+		return mPruneUpstream.Value(), mPrunePiggyback.Value(), mPruneSecondHop.Value(), events
+	}
+
+	tu, tp, ts, events := count(true)
+	if int64(events[obs.RuleUpstreamSender]) != tu ||
+		int64(events[obs.RulePiggybackedSet]) != tp ||
+		int64(events[obs.RuleSecondHopAdjacent]) != ts {
+		t.Fatalf("traced counters (%d,%d,%d) != traced events %v", tu, tp, ts, events)
+	}
+	wu, wp, wsd, _ := count(false)
+	if tu != wu || tp != wp || ts != wsd {
+		t.Fatalf("traced per-rule totals (%d,%d,%d) != wholesale totals (%d,%d,%d)", tu, tp, ts, wu, wp, wsd)
+	}
+	if tu+tp+ts == 0 {
+		t.Fatal("test network produced no prunes — pick a denser seed")
+	}
+}

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"sync"
+	"time"
 
 	"clustercast/internal/backbone"
 	"clustercast/internal/broadcast"
@@ -9,6 +10,7 @@ import (
 	"clustercast/internal/coverage"
 	"clustercast/internal/dynamicb"
 	"clustercast/internal/mocds"
+	"clustercast/internal/obs"
 	"clustercast/internal/rng"
 	"clustercast/internal/stats"
 	"clustercast/internal/topology"
@@ -31,6 +33,12 @@ type Workspace struct {
 	MOCDS    *mocds.Workspace
 	Dynamic  *dynamicb.Workspace
 	Bcast    *broadcast.Workspace
+
+	// Clock accumulates per-stage wall time for this worker when
+	// observability is enabled. SweepPoint merges worker clocks into the
+	// process-wide stage table in worker-index order, so the aggregate is
+	// deterministic for any scheduling.
+	Clock obs.StageClock
 
 	rng rng.Stream // per-replicate stream, reseeded by SampleWS
 	src rng.Stream // split child handed to estimators (source selection)
@@ -56,12 +64,16 @@ var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
 // randomness consumption (reseed instead of construct, split-into instead
 // of split), identical rejection sampling, bit-identical network.
 func (sc Scenario) SampleWS(ws *Workspace, label string, rep int) (*topology.Network, *rng.Stream, bool) {
+	if obs.Enabled() {
+		defer ws.Clock.Observe("sample", time.Now())
+	}
 	ws.rng.SeedLabeled(sc.Seed^uint64(rep)*0x9E3779B97F4A7C15, label)
 	nw, err := topology.GenerateWith(topology.Config{
 		N: sc.N, Bounds: sc.Bounds, AvgDegree: sc.AvgDegree,
 		RequireConnected: true, MaxAttempts: 200,
 	}, ws.Topo, &ws.rng)
 	if err != nil {
+		noteSampleError(label, rep, err)
 		return nil, nil, false
 	}
 	ws.rng.SplitInto(&ws.src)
@@ -82,16 +94,33 @@ func SweepPoint(sc Scenario, workers int, est WSEstimator) Point {
 		slots = 1
 	}
 	wss := make([]*Workspace, slots)
+	timed := obs.Enabled() // snapshot once: a mid-point toggle must not skew stage sums
 	sum, err := stats.ReplicateNWorker(sc.Rule, workers, func(worker, rep int) (float64, bool) {
 		ws := wss[worker]
 		if ws == nil {
 			ws = wsPool.Get().(*Workspace)
 			wss[worker] = ws
 		}
+		if timed {
+			defer ws.Clock.Observe("replicate", time.Now())
+		}
 		return est(ws, sc, rep)
 	})
+	if timed {
+		// Fold worker clocks into the global stage table in worker-index
+		// order: replicate rep always runs on worker rep%workers, so the
+		// aggregate is identical for any scheduling of the same run.
+		clocks := make([]*obs.StageClock, 0, slots)
+		for _, ws := range wss {
+			if ws != nil {
+				clocks = append(clocks, &ws.Clock)
+			}
+		}
+		obs.MergeStages(clocks...)
+	}
 	for _, ws := range wss {
 		if ws != nil {
+			ws.Clock.Reset() // pooled workspaces must not leak stage time across points
 			wsPool.Put(ws)
 		}
 	}

@@ -4,6 +4,13 @@ import (
 	"clustercast/internal/cluster"
 	"clustercast/internal/coverage"
 	"clustercast/internal/graph"
+	"clustercast/internal/obs"
+)
+
+// Baseline-construction metrics, folded once per CDS build.
+var (
+	mBuilds = obs.NewCounter("mocds.builds")
+	mNodes  = obs.NewCounter("mocds.nodes_selected")
 )
 
 // Workspace owns the scratch one MO_CDS size computation needs, so a
@@ -71,6 +78,10 @@ func (ws *Workspace) NodesFrom(b *coverage.Builder, cl *cluster.Clustering) *gra
 				}
 			}
 		}
+	}
+	if obs.Enabled() {
+		mBuilds.Inc()
+		mNodes.Add(int64(ws.nodes.Count()))
 	}
 	return &ws.nodes
 }

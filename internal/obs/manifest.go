@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"time"
+)
+
+// Manifest records everything needed to reproduce one CLI run: the exact
+// invocation, the environment it ran in, and the per-stage cost and metric
+// readings it produced. Every figure/CSV a run writes gets a manifest next
+// to it, so the provenance of any number is one file away.
+//
+// Params is a plain string map; encoding/json marshals map keys sorted, so
+// the serialized form is deterministic.
+type Manifest struct {
+	Tool      string            `json:"tool"`
+	Args      []string          `json:"args,omitempty"`
+	Params    map[string]string `json:"params,omitempty"`
+	Seed      uint64            `json:"seed"`
+	GoVersion string            `json:"go_version"`
+	GitRev    string            `json:"git_rev"`
+	GitDirty  bool              `json:"git_dirty,omitempty"`
+	GOOS      string            `json:"goos"`
+	GOARCH    string            `json:"goarch"`
+	NumCPU    int               `json:"num_cpu"`
+	Workers   int               `json:"workers,omitempty"`
+	Start     string            `json:"start"`
+	WallNs    int64             `json:"wall_ns"`
+	Outputs   []string          `json:"outputs,omitempty"`
+	Stages    []StageStat       `json:"stages,omitempty"`
+	Metrics   Snapshot          `json:"metrics"`
+
+	started time.Time
+}
+
+// vcsInfo reads the git revision baked into the binary by the Go
+// toolchain's -buildvcs stamping ("unknown" for go test binaries and
+// builds outside a checkout).
+func vcsInfo() (rev string, dirty bool) {
+	rev = "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return rev, false
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return rev, dirty
+}
+
+// NewManifest starts a manifest for the named tool, capturing the command
+// line and the build/host environment. Finish (or WriteFile) closes it.
+func NewManifest(tool string) *Manifest {
+	rev, dirty := vcsInfo()
+	return &Manifest{
+		Tool:      tool,
+		Args:      append([]string(nil), os.Args[1:]...),
+		Params:    make(map[string]string),
+		GoVersion: runtime.Version(),
+		GitRev:    rev,
+		GitDirty:  dirty,
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Start:     time.Now().UTC().Format(time.RFC3339),
+		started:   time.Now(),
+	}
+}
+
+// Param records one named run parameter (flag value, derived setting).
+func (m *Manifest) Param(key string, value any) *Manifest {
+	m.Params[key] = fmt.Sprint(value)
+	return m
+}
+
+// AddOutput records the path of a file the run produced.
+func (m *Manifest) AddOutput(path string) { m.Outputs = append(m.Outputs, path) }
+
+// Finish stamps the wall-clock and pulls the per-stage stats and metric
+// snapshot from the registry. Idempotent enough to call right before
+// serialization.
+func (m *Manifest) Finish() {
+	m.WallNs = time.Since(m.started).Nanoseconds()
+	m.Stages = StageSnapshot()
+	m.Metrics = Default.Snapshot()
+	sort.Strings(m.Outputs)
+}
+
+// WriteFile finishes the manifest and writes it as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	m.Finish()
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadManifest loads a manifest written by WriteFile.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("obs: manifest %s: %w", path, err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric with an atomic,
+// allocation-free hot path. The zero-cost contract: Add on a disabled
+// package (or a nil counter) is one predictable branch.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. No-op when observability is disabled or c is nil.
+func (c *Counter) Add(n int64) {
+	if c == nil || !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time metric (last value wins).
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set records the current value. No-op when disabled or g is nil.
+func (g *Gauge) Set(v int64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add shifts the current value by delta. No-op when disabled or g is nil.
+func (g *Gauge) Add(delta int64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the last recorded value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram: bucket bounds are frozen at
+// registration, so Observe is a short linear scan plus three atomic adds —
+// no locks, no allocation. Observation i lands in the first bucket whose
+// upper bound is >= v; values past the last bound land in the implicit
+// overflow bucket.
+type Histogram struct {
+	name   string
+	bounds []int64        // ascending upper bounds
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one value. No-op when disabled or h is nil.
+func (h *Histogram) Observe(v int64) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Registry holds named metrics. Registration (Counter/Gauge/Histogram) is
+// idempotent and mutex-protected — it happens at package init or CLI
+// startup, never on a hot path; the metrics themselves are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry the package-level constructors
+// register into; manifests snapshot it.
+var Default = NewRegistry()
+
+// NewCounter registers (or returns the existing) counter in Default.
+func NewCounter(name string) *Counter { return Default.Counter(name) }
+
+// NewGauge registers (or returns the existing) gauge in Default.
+func NewGauge(name string) *Gauge { return Default.Gauge(name) }
+
+// NewHistogram registers (or returns the existing) histogram in Default.
+func NewHistogram(name string, bounds []int64) *Histogram {
+	return Default.Histogram(name, bounds)
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending upper bounds on first use (bounds of later calls are ignored —
+// buckets are fixed for the registry's lifetime).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		b := append([]int64(nil), bounds...)
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		h = &Histogram{name: name, bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every registered metric, keeping the registrations (and the
+// pointers instrumented code holds) intact. CLIs call it before a
+// manifested run so the snapshot covers exactly that run.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		h.sum.Store(0)
+		h.n.Store(0)
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+	}
+}
+
+// MetricValue is one exported counter or gauge reading.
+type MetricValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramBucket is one exported histogram bucket. Le is the inclusive
+// upper bound; the overflow bucket reports Le = -1 (read: +Inf).
+type HistogramBucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramValue is one exported histogram reading.
+type HistogramValue struct {
+	Name    string            `json:"name"`
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+// Snapshot is a deterministic export of a registry: every section sorted
+// by metric name, zero-valued metrics omitted so manifests only carry the
+// signals the run actually produced.
+type Snapshot struct {
+	Counters   []MetricValue    `json:"counters,omitempty"`
+	Gauges     []MetricValue    `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot exports the registry's current readings.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for name, c := range r.counters {
+		if v := c.v.Load(); v != 0 {
+			s.Counters = append(s.Counters, MetricValue{Name: name, Value: v})
+		}
+	}
+	for name, g := range r.gauges {
+		if v := g.v.Load(); v != 0 {
+			s.Gauges = append(s.Gauges, MetricValue{Name: name, Value: v})
+		}
+	}
+	for name, h := range r.hists {
+		if h.n.Load() == 0 {
+			continue
+		}
+		hv := HistogramValue{Name: name, Count: h.n.Load(), Sum: h.sum.Load()}
+		for i := range h.counts {
+			le := int64(-1)
+			if i < len(h.bounds) {
+				le = h.bounds[i]
+			}
+			hv.Buckets = append(hv.Buckets, HistogramBucket{Le: le, Count: h.counts[i].Load()})
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}

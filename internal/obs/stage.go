@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// StageStat is the aggregated cost of one named pipeline stage: how many
+// times it ran, total wall-clock, and (when the caller measures it) total
+// bytes allocated.
+type StageStat struct {
+	Name       string `json:"name"`
+	Count      int64  `json:"count"`
+	WallNs     int64  `json:"wall_ns"`
+	AllocBytes int64  `json:"alloc_bytes,omitempty"`
+}
+
+// StageClock accumulates per-stage costs on a single worker without any
+// synchronization; each replication worker owns one and the results are
+// folded together afterwards with MergeStages. Stage lookup is a linear
+// scan — pipelines have a handful of stages, and a map would allocate.
+type StageClock struct {
+	stats []StageStat
+}
+
+// slot returns the accumulator for name, appending it on first use.
+func (c *StageClock) slot(name string) *StageStat {
+	for i := range c.stats {
+		if c.stats[i].Name == name {
+			return &c.stats[i]
+		}
+	}
+	c.stats = append(c.stats, StageStat{Name: name})
+	return &c.stats[len(c.stats)-1]
+}
+
+// Add folds one run of the stage: count++ and wallNs of wall-clock.
+func (c *StageClock) Add(name string, wallNs int64) {
+	s := c.slot(name)
+	s.Count++
+	s.WallNs += wallNs
+}
+
+// AddAlloc folds allocated bytes into the stage without counting a run.
+func (c *StageClock) AddAlloc(name string, bytes int64) {
+	c.slot(name).AllocBytes += bytes
+}
+
+// Observe is Add(name, time.Since(start)) — the usual call shape:
+//
+//	t0 := time.Now(); kernel(); clock.Observe("kernel", t0)
+func (c *StageClock) Observe(name string, start time.Time) {
+	c.Add(name, time.Since(start).Nanoseconds())
+}
+
+// Reset empties the clock, keeping its storage.
+func (c *StageClock) Reset() { c.stats = c.stats[:0] }
+
+// Stats returns a copy of the accumulated stages sorted by name.
+func (c *StageClock) Stats() []StageStat {
+	out := append([]StageStat(nil), c.stats...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// merge folds every stage of o into c.
+func (c *StageClock) merge(o *StageClock) {
+	for i := range o.stats {
+		s := c.slot(o.stats[i].Name)
+		s.Count += o.stats[i].Count
+		s.WallNs += o.stats[i].WallNs
+		s.AllocBytes += o.stats[i].AllocBytes
+	}
+}
+
+// stageGlobal is the process-wide stage accumulator manifests read.
+var (
+	stageMu     sync.Mutex
+	stageGlobal StageClock
+)
+
+// MergeStages folds the given per-worker clocks into the process-wide
+// accumulator, in argument order. The aggregation is deterministic: stage
+// sums commute, clocks are folded in the caller's (worker-index) order,
+// and the exported snapshot is sorted by name — no map iteration anywhere,
+// so equal inputs always export identically.
+func MergeStages(clocks ...*StageClock) {
+	stageMu.Lock()
+	defer stageMu.Unlock()
+	for _, c := range clocks {
+		if c != nil {
+			stageGlobal.merge(c)
+		}
+	}
+}
+
+// StageSnapshot returns the process-wide per-stage stats sorted by name.
+func StageSnapshot() []StageStat {
+	stageMu.Lock()
+	defer stageMu.Unlock()
+	return stageGlobal.Stats()
+}
+
+// ResetStages clears the process-wide stage accumulator.
+func ResetStages() {
+	stageMu.Lock()
+	defer stageMu.Unlock()
+	stageGlobal.Reset()
+}

@@ -1,0 +1,340 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// EventKind types a broadcast trace event.
+type EventKind uint8
+
+const (
+	// EvNone is the zero kind; never recorded.
+	EvNone EventKind = iota
+	// EvSend: Node transmitted the packet at time T (Peer is the upstream
+	// sender that triggered the relay, -1 for the source).
+	EvSend
+	// EvDeliver: Node received its first copy at time T from Peer.
+	EvDeliver
+	// EvDuplicate: Node suppressed a redundant copy from Peer at time T.
+	EvDuplicate
+	// EvGatewaySelect: clusterhead Node designated Peer as a forwarding
+	// gateway while building its packet at time T.
+	EvGatewaySelect
+	// EvCoveragePrune: clusterhead Node dropped clusterhead Peer from its
+	// updated coverage set at time T, because of Rule.
+	EvCoveragePrune
+	// EvCollision: Node heard >= 2 transmissions in slot T and decoded
+	// none (the slotted-MAC engine only).
+	EvCollision
+)
+
+// kindNames is the canonical wire spelling of each kind.
+var kindNames = [...]string{
+	EvNone:          "",
+	EvSend:          "send",
+	EvDeliver:       "deliver",
+	EvDuplicate:     "duplicate-suppress",
+	EvGatewaySelect: "gateway-select",
+	EvCoveragePrune: "coverage-prune",
+	EvCollision:     "collision",
+}
+
+// String returns the wire spelling of the kind.
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseEventKind inverts EventKind.String.
+func ParseEventKind(s string) (EventKind, error) {
+	for k, name := range kindNames {
+		if k != int(EvNone) && name == s {
+			return EventKind(k), nil
+		}
+	}
+	return EvNone, fmt.Errorf("obs: unknown event kind %q", s)
+}
+
+// PruneRule identifies which exclusion of the paper's updated-coverage
+// rule C(v) ← C(v) − C(u) − {u} − CH(N(r)) fired for a pruned clusterhead.
+type PruneRule uint8
+
+const (
+	// RuleNone marks non-prune events.
+	RuleNone PruneRule = iota
+	// RuleUpstreamSender: the pruned head is the upstream clusterhead u
+	// itself (the − {u} term).
+	RuleUpstreamSender
+	// RulePiggybackedSet: the pruned head was in the coverage set C(u)
+	// piggybacked on the received packet (the − C(u) term).
+	RulePiggybackedSet
+	// RuleSecondHopAdjacent: the pruned head is adjacent to the immediate
+	// transmitter r and heard r's transmission itself (the − CH(N(r))
+	// term, the 2.5-hop case's second-hop exclusion).
+	RuleSecondHopAdjacent
+)
+
+// ruleNames is the canonical wire spelling of each rule.
+var ruleNames = [...]string{
+	RuleNone:              "",
+	RuleUpstreamSender:    "upstream-sender",
+	RulePiggybackedSet:    "piggybacked-set",
+	RuleSecondHopAdjacent: "second-hop-adjacent",
+}
+
+// String returns the wire spelling of the rule ("" for RuleNone).
+func (r PruneRule) String() string {
+	if int(r) < len(ruleNames) {
+		return ruleNames[r]
+	}
+	return fmt.Sprintf("rule(%d)", uint8(r))
+}
+
+// ParsePruneRule inverts PruneRule.String ("" parses to RuleNone).
+func ParsePruneRule(s string) (PruneRule, error) {
+	for r, name := range ruleNames {
+		if name == s {
+			return PruneRule(r), nil
+		}
+	}
+	return RuleNone, fmt.Errorf("obs: unknown prune rule %q", s)
+}
+
+// Event is one typed broadcast trace record.
+type Event struct {
+	// Seq is the global record order (monotonic per tracer, survives ring
+	// overwrites: gaps at the front reveal dropped history).
+	Seq int64
+	// T is the simulation time unit / MAC slot the event belongs to.
+	T int
+	// Kind types the event.
+	Kind EventKind
+	// Node is the acting node.
+	Node int
+	// Peer is the counterpart node: the sender for deliver/duplicate, the
+	// pruned clusterhead, the selected gateway, the relay trigger for
+	// send; -1 when there is none.
+	Peer int
+	// Rule is set on coverage-prune events only.
+	Rule PruneRule
+}
+
+// Tracer records typed events into a preallocated ring buffer. When the
+// ring fills, the oldest events are overwritten and Dropped counts them;
+// Seq numbers stay monotonic so consumers can detect the truncation.
+//
+// A nil *Tracer is the Nop default: every method is nil-safe, and engine
+// hot loops additionally guard with a local `tr != nil` so the disabled
+// path costs one predicted branch. A tracer is single-goroutine state,
+// like the engine workspaces it rides along with.
+type Tracer struct {
+	buf     []Event
+	start   int // ring index of the oldest retained event
+	n       int // retained events
+	seq     int64
+	dropped int64
+	now     int // current simulation time for protocol-side events
+}
+
+// DefaultTraceCap is the ring capacity NewTracer(0) preallocates; at 32
+// bytes per event it holds a full broadcast on paper-scale networks.
+const DefaultTraceCap = 1 << 16
+
+// NewTracer returns a tracer with the given ring capacity (<= 0 selects
+// DefaultTraceCap). The ring is allocated once, up front.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// record pushes one event onto the ring.
+func (t *Tracer) record(ev Event) {
+	ev.Seq = t.seq
+	t.seq++
+	if t.n < len(t.buf) {
+		t.buf[(t.start+t.n)%len(t.buf)] = ev
+		t.n++
+		return
+	}
+	t.buf[t.start] = ev
+	t.start = (t.start + 1) % len(t.buf)
+	t.dropped++
+}
+
+// SetTime stamps the current simulation time; protocol-side events
+// recorded before the next SetTime (gateway-select, coverage-prune) carry
+// it. The engines call this, protocols never do.
+func (t *Tracer) SetTime(now int) {
+	if t != nil {
+		t.now = now
+	}
+}
+
+// Now returns the last stamped simulation time.
+func (t *Tracer) Now() int {
+	if t == nil {
+		return 0
+	}
+	return t.now
+}
+
+// Send records a transmission by node at time tm, triggered by the
+// transmission of peer (-1 for the source's initial send).
+func (t *Tracer) Send(tm, node, peer int) {
+	if t == nil {
+		return
+	}
+	t.record(Event{T: tm, Kind: EvSend, Node: node, Peer: peer})
+}
+
+// Deliver records node's first reception at time tm from sender from.
+func (t *Tracer) Deliver(tm, node, from int) {
+	if t == nil {
+		return
+	}
+	t.record(Event{T: tm, Kind: EvDeliver, Node: node, Peer: from})
+}
+
+// Duplicate records a suppressed redundant copy at node from sender from.
+func (t *Tracer) Duplicate(tm, node, from int) {
+	if t == nil {
+		return
+	}
+	t.record(Event{T: tm, Kind: EvDuplicate, Node: node, Peer: from})
+}
+
+// Collision records a receiver-side collision at node in slot tm.
+func (t *Tracer) Collision(tm, node int) {
+	if t == nil {
+		return
+	}
+	t.record(Event{T: tm, Kind: EvCollision, Node: node, Peer: -1})
+}
+
+// GatewaySelect records clusterhead head designating gateway as a forward
+// node, at the current simulation time.
+func (t *Tracer) GatewaySelect(head, gateway int) {
+	if t == nil {
+		return
+	}
+	t.record(Event{T: t.now, Kind: EvGatewaySelect, Node: head, Peer: gateway})
+}
+
+// CoveragePrune records clusterhead head dropping clusterhead pruned from
+// its updated coverage set because of rule, at the current simulation
+// time.
+func (t *Tracer) CoveragePrune(head, pruned int, rule PruneRule) {
+	if t == nil {
+		return
+	}
+	t.record(Event{T: t.now, Kind: EvCoveragePrune, Node: head, Peer: pruned, Rule: rule})
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Dropped returns how many events the ring overwrote.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Reset empties the tracer for the next run, keeping the ring allocation.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.start, t.n, t.seq, t.dropped, t.now = 0, 0, 0, 0, 0
+}
+
+// Events returns the retained events in record order as a fresh slice.
+func (t *Tracer) Events() []Event {
+	if t == nil || t.n == 0 {
+		return nil
+	}
+	out := make([]Event, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.buf[(t.start+i)%len(t.buf)]
+	}
+	return out
+}
+
+// writeEvent renders one event as a JSONL line. The field order is fixed
+// by construction (hand-rendered, not reflected), so traces are golden-file
+// stable; every field is always present.
+func writeEvent(w *bufio.Writer, ev Event) error {
+	_, err := fmt.Fprintf(w, `{"seq":%d,"t":%d,"ev":%q,"node":%d,"peer":%d,"rule":%q}`+"\n",
+		ev.Seq, ev.T, ev.Kind.String(), ev.Node, ev.Peer, ev.Rule.String())
+	return err
+}
+
+// WriteJSONL streams the retained events to w, one JSON object per line,
+// in record order with a stable field order.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if t != nil {
+		for i := 0; i < t.n; i++ {
+			if err := writeEvent(bw, t.buf[(t.start+i)%len(t.buf)]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// eventJSON is the wire form of an Event.
+type eventJSON struct {
+	Seq  int64  `json:"seq"`
+	T    int    `json:"t"`
+	Ev   string `json:"ev"`
+	Node int    `json:"node"`
+	Peer int    `json:"peer"`
+	Rule string `json:"rule"`
+}
+
+// ReadJSONL parses a JSONL trace back into events. Blank lines are
+// skipped; any malformed line is an error naming its line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ej eventJSON
+		if err := json.Unmarshal(raw, &ej); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		kind, err := ParseEventKind(ej.Ev)
+		if err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		rule, err := ParsePruneRule(ej.Rule)
+		if err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		out = append(out, Event{Seq: ej.Seq, T: ej.T, Kind: kind, Node: ej.Node, Peer: ej.Peer, Rule: rule})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return out, nil
+}

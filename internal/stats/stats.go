@@ -8,6 +8,16 @@ import (
 	"errors"
 	"math"
 	"sync"
+
+	"clustercast/internal/obs"
+)
+
+// Replication metrics: observations folded into summaries and replicates
+// skipped (discarded disconnected topologies). Incremented once per
+// replicate, so the disabled cost is one atomic load per replicate.
+var (
+	mObservations = obs.NewCounter("replicate.observations")
+	mSkips        = obs.NewCounter("replicate.skips")
 )
 
 // Summary holds running moments of a sample (Welford's algorithm, so a
@@ -270,12 +280,14 @@ func Replicate(rule StopRule, estimator func(rep int) (float64, bool)) (*Summary
 		x, ok := estimator(rep)
 		if !ok {
 			skips++
+			mSkips.Inc()
 			if done, err := skip(rule, s, &skips); done {
 				return s, err
 			}
 			continue
 		}
 		s.Add(x)
+		mObservations.Inc()
 	}
 }
 
@@ -322,11 +334,11 @@ func ReplicateNWorker(rule StopRule, workers int, estimator func(worker, rep int
 	rule = rule.normalized()
 	s := &Summary{}
 	skips := 0
-	type obs struct {
+	type spec struct {
 		x  float64
 		ok bool
 	}
-	batch := make([]obs, workers)
+	batch := make([]spec, workers)
 	for next := 0; ; next += workers {
 		if rule.Done(s) {
 			return s, nil
@@ -337,7 +349,7 @@ func ReplicateNWorker(rule StopRule, workers int, estimator func(worker, rep int
 			go func(i int) {
 				defer wg.Done()
 				x, ok := estimator(i, next+i)
-				batch[i] = obs{x, ok}
+				batch[i] = spec{x, ok}
 			}(i)
 		}
 		wg.Wait()
@@ -347,12 +359,14 @@ func ReplicateNWorker(rule StopRule, workers int, estimator func(worker, rep int
 			}
 			if !batch[i].ok {
 				skips++
+				mSkips.Inc()
 				if done, err := skip(rule, s, &skips); done {
 					return s, err
 				}
 				continue
 			}
 			s.Add(batch[i].x)
+			mObservations.Inc()
 		}
 	}
 }
