@@ -3,7 +3,7 @@ GO ?= go
 # Baseline the bench-compare target diffs against.
 BENCH_BASELINE ?= BENCH_PR3.json
 
-.PHONY: all ci build vet test test-race bench-smoke bench bench-compare bench-scale figures trace-smoke
+.PHONY: all ci build vet test test-race bench-smoke bench bench-compare bench-scale figures trace-smoke faults-smoke
 
 all: vet test
 
@@ -63,3 +63,14 @@ trace-smoke:
 	$(GO) run ./cmd/scale -n 500 -d 12 -reps 1 -stages dynamic25 \
 		-trace artifacts/scale-trace.jsonl -manifest artifacts/scale-manifest.json
 	$(GO) run ./cmd/trace artifacts/scale-trace.jsonl
+
+# Fault-injection smoke: a churn-and-repair manetsim run plus the two
+# failure-sweep figures under the quick replication rule. The CSV checksums
+# make worker-count nondeterminism visible in CI logs (the figure bytes must
+# not depend on parallelism).
+faults-smoke:
+	mkdir -p artifacts/faults
+	$(GO) run ./cmd/manetsim -n 80 -d 10 -seed 7 \
+		-faults mtbf=100,mttr=40,burst=0.1:4,warmup=500
+	$(GO) run ./cmd/figures -fig faults,burst -quick -seed 7 -out artifacts/faults
+	cksum artifacts/faults/*.csv

@@ -51,6 +51,7 @@ var figureOrder = []string{
 	"ratio", "msg", "baselines", "tiebreak", "mobility", "delivery",
 	"sicds", "lossy", "maint", "passive", "reliable", "pruning",
 	"routing", "storm", "hier", "collision", "election", "covcost", "amort",
+	"faults", "burst",
 }
 
 // runners builds the figure constructors for a given configuration.
@@ -97,6 +98,12 @@ func runners(cfg config, rule stats.StopRule, ns []int) map[string]func() *exper
 		"covcost":  func() *experiment.Figure { return experiment.CoverageCost(ns, 18, seed, rule) },
 		"amort": func() *experiment.Figure {
 			return experiment.Amortized([]int{1, 2, 5, 10, 20, 50}, 80, 18, seed, rule)
+		},
+		"faults": func() *experiment.Figure {
+			return experiment.Faults([]float64{0, 0.05, 0.1, 0.2, 0.3, 0.4}, 60, 10, seed, rule)
+		},
+		"burst": func() *experiment.Figure {
+			return experiment.Burstiness([]float64{1, 2, 4, 8, 16, 32}, 0.2, 60, 10, seed, rule)
 		},
 	}
 }

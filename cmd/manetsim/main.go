@@ -7,6 +7,7 @@
 //
 //	manetsim -n 100 -d 18 -seed 7 -source 0
 //	manetsim -n 60 -d 6 -protocols flooding,dynamic-2.5,mo-cds
+//	manetsim -n 80 -d 10 -faults mtbf=100,mttr=30   # churn + repair report
 //	manetsim -load net.json -wire
 package main
 
@@ -18,9 +19,11 @@ import (
 	"runtime"
 	"strings"
 
+	"clustercast/internal/backbone"
 	"clustercast/internal/broadcast"
 	"clustercast/internal/core"
 	"clustercast/internal/coverage"
+	"clustercast/internal/faults"
 	"clustercast/internal/fwdtree"
 	"clustercast/internal/marking"
 	"clustercast/internal/obs"
@@ -38,6 +41,7 @@ type config struct {
 	seed      uint64
 	source    int
 	protocols string
+	faults    string
 	wire      bool
 	load      string
 	workers   int
@@ -57,12 +61,12 @@ type protocolRun struct {
 // non-nil tr threads the trace recorder through whichever engine the row
 // uses; run() guarantees at most one traced row executes, so the trace
 // holds exactly one broadcast.
-func buildRuns(nw *core.Network, src int, seed uint64, tr *obs.Tracer) []protocolRun {
+func buildRuns(nw *core.Network, src int, seed uint64, tr *obs.Tracer, fo *faults.Oracle) []protocolRun {
 	g := nw.Graph()
 	nb := broadcast.NewNeighborhood(g)
 	ok := func(r *broadcast.Result) (*broadcast.Result, error) { return r, nil }
-	opt := broadcast.Options{Tracer: tr}
-	topt := broadcast.TimedOptions{Tracer: tr}
+	opt := broadcast.Options{Tracer: tr, Faults: fo}
+	topt := broadcast.TimedOptions{Tracer: tr, Faults: fo}
 	static := func(mode core.Mode) (*broadcast.Result, error) {
 		s := nw.StaticBackbone(mode)
 		return ok(broadcast.RunOpts(g, src, broadcast.StaticCDS{Set: s.Nodes, Label: "static-" + s.Mode.String()}, opt))
@@ -70,7 +74,9 @@ func buildRuns(nw *core.Network, src int, seed uint64, tr *obs.Tracer) []protoco
 	dynamic := func(mode core.Mode) (*broadcast.Result, error) {
 		p := nw.DynamicProtocol(mode)
 		p.SetTracer(tr)
-		return ok(p.Broadcast(src))
+		// Run through the engine options directly so the fault oracle (and
+		// tracer) reach the engine; p.Broadcast would drop the oracle.
+		return ok(broadcast.RunOpts(g, src, p, opt))
 	}
 	return []protocolRun{
 		{"flooding", func() (*broadcast.Result, error) { return ok(broadcast.RunOpts(g, src, broadcast.Flooding{}, opt)) }},
@@ -152,7 +158,8 @@ func run(cfg config, stdout io.Writer) error {
 		manifest.Seed = cfg.seed
 		manifest.Workers = cfg.workers
 		manifest.Param("n", cfg.n).Param("d", cfg.d).Param("source", cfg.source).
-			Param("protocols", cfg.protocols).Param("load", cfg.load).Param("wire", cfg.wire)
+			Param("protocols", cfg.protocols).Param("load", cfg.load).Param("wire", cfg.wire).
+			Param("faults", cfg.faults)
 	}
 
 	nw, err := loadNetwork(&cfg)
@@ -161,12 +168,30 @@ func run(cfg config, stdout io.Writer) error {
 	}
 	fmt.Fprintln(stdout, "network:", nw.Summarize())
 
+	var oracle *faults.Oracle
+	if cfg.faults != "" {
+		spec, err := faults.ParseSpec(cfg.faults)
+		if err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		if spec.Seed == 0 {
+			spec.Seed = cfg.seed
+		}
+		oracle = faults.New(spec, nw.N())
+		oracle.SetPositions(nw.Topology.Positions)
+		fmt.Fprintf(stdout, "faults: %s (alive at t=0: %d/%d)\n",
+			spec.String(), oracle.AliveCount(0), nw.N())
+	}
+
 	src := cfg.source
 	if src < 0 {
 		src = rng.NewLabeled(cfg.seed, "source").Intn(cfg.n)
 	}
 	if src >= cfg.n {
 		return fmt.Errorf("source %d out of range (n=%d)", src, cfg.n)
+	}
+	if oracle != nil && !oracle.NodeUp(src, 0) {
+		fmt.Fprintf(stdout, "note: source %d is down at t=0 under this fault schedule; nothing will spread\n", src)
 	}
 	fmt.Fprintf(stdout, "broadcast source: %d\n\n", src)
 
@@ -185,7 +210,7 @@ func run(cfg config, stdout io.Writer) error {
 		}
 		tracer = obs.NewTracer(16 * cfg.n)
 	}
-	runs := buildRuns(nw, src, cfg.seed, tracer)
+	runs := buildRuns(nw, src, cfg.seed, tracer, oracle)
 	known := map[string]bool{}
 	for _, r := range runs {
 		known[r.name] = true
@@ -227,6 +252,24 @@ func run(cfg config, stdout io.Writer) error {
 		}
 	}
 
+	if oracle != nil {
+		// Self-healing demo: diff the proactive backbone against the t=0
+		// crash state and repair it locally (dead heads re-elected, gateway
+		// selections redone only where the wavefront reached).
+		alive := oracle.Alive(0)
+		base := nw.StaticBackbone(core.Hop25)
+		allUp := func(int) bool { return true }
+		_, repaired, st, err := backbone.Repair(nw.Graph(), nw.Clustering, base, allUp, alive, backbone.Options{}, nil)
+		if err != nil {
+			return fmt.Errorf("backbone repair: %w", err)
+		}
+		fmt.Fprintf(stdout, "\nbackbone repair (2.5-hop, vs t=0 crash state):\n")
+		fmt.Fprintf(stdout, "  crashed nodes: %d, dead clusterheads: %d\n", st.Changed, st.DeadHeads)
+		fmt.Fprintf(stdout, "  re-elected (wavefront): %d nodes, rehomed: %d, gateway selections redone: %d\n",
+			st.Tracked, st.Rehomed, st.Reselected)
+		fmt.Fprintf(stdout, "  backbone size: %d -> %d\n", base.Size(), repaired.Size())
+	}
+
 	if cfg.wire {
 		out := sim.Run(nw.Graph(), core.Hop25)
 		fmt.Fprintf(stdout, "\nwire protocol (2.5-hop): %s\n", out.Counters.String())
@@ -250,6 +293,8 @@ func main() {
 	flag.IntVar(&cfg.source, "source", -1, "broadcast source (-1: random)")
 	flag.StringVar(&cfg.protocols, "protocols", "all",
 		"comma list: flooding,gossip,mpr,dp,pdp,static-2.5,static-3,dynamic-2.5,dynamic-3,mo-cds,marking,fwd-tree,passive,sba,counter-3,distance (or all)")
+	flag.StringVar(&cfg.faults, "faults", "",
+		"fault schedule, e.g. 'mtbf=200,mttr=50,burst=0.2:8,part=10:40:x:50' (see internal/faults); applies to every engine-run protocol and prints a backbone-repair report")
 	flag.BoolVar(&cfg.wire, "wire", false, "also run the distributed wire-protocol construction and print message counts")
 	flag.StringVar(&cfg.load, "load", "", "load a topology snapshot (JSON, from topogen -save) instead of generating one")
 	flag.IntVar(&cfg.workers, "workers", 0,

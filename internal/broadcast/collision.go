@@ -3,6 +3,7 @@ package broadcast
 import (
 	"sort"
 
+	"clustercast/internal/faults"
 	"clustercast/internal/graph"
 	"clustercast/internal/obs"
 	"clustercast/internal/rng"
@@ -32,6 +33,12 @@ type MACOptions struct {
 	// Tracer, when non-nil, records the run's typed event stream
 	// (including receiver-side collision events).
 	Tracer *obs.Tracer
+	// Faults, when non-nil, injects the fault schedule: crashed forwarders
+	// stay silent in their slot, and copies the oracle drops (receiver
+	// down, partition, loss burst) never reach the receiver — so they do
+	// not take part in collision resolution either (fading happens before
+	// decoding).
+	Faults *faults.Oracle
 }
 
 // CollisionResult extends Result with MAC-level accounting.
@@ -93,6 +100,7 @@ func RunMAC(g *graph.Graph, source int, p Protocol, opt MACOptions) *CollisionRe
 	pending := 1
 	transmissions := 0
 
+	fo := opt.Faults
 	for t := 0; pending > 0; t++ {
 		batch := slots[t]
 		if len(batch) == 0 {
@@ -100,6 +108,16 @@ func RunMAC(g *graph.Graph, source int, p Protocol, opt MACOptions) *CollisionRe
 		}
 		pending -= len(batch)
 		delete(slots, t)
+		if fo != nil {
+			// Crashed forwarders stay silent; their slot reservation lapses.
+			live := batch[:0]
+			for _, x := range batch {
+				if fo.NodeUp(x.sender, t) {
+					live = append(live, x)
+				}
+			}
+			batch = live
+		}
 		if tr != nil {
 			tr.SetTime(t + 1)
 			for _, x := range batch {
@@ -111,6 +129,10 @@ func RunMAC(g *graph.Graph, source int, p Protocol, opt MACOptions) *CollisionRe
 		heardBy := map[int][]tx{}
 		for _, x := range batch {
 			for _, v := range g.Neighbors(x.sender) {
+				if fo != nil && (!fo.NodeUp(v, t+1) || !fo.LinkUp(x.sender, v, t+1) ||
+					fo.CopyLost(x.sender, v, t+1)) {
+					continue // the copy faded before reaching v
+				}
 				heardBy[v] = append(heardBy[v], x)
 			}
 		}

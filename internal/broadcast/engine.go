@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 
+	"clustercast/internal/faults"
 	"clustercast/internal/graph"
 	"clustercast/internal/obs"
 )
@@ -35,6 +36,8 @@ var (
 	mTransmissions = obs.NewCounter("broadcast.transmissions")
 	mDeliveries    = obs.NewCounter("broadcast.deliveries")
 	mDuplicates    = obs.NewCounter("broadcast.duplicates")
+	mFaultSkips    = obs.NewCounter("broadcast.fault_skipped_tx")
+	mFaultDrops    = obs.NewCounter("broadcast.fault_dropped_copies")
 )
 
 // Packet is the protocol-specific payload piggybacked on a transmission.
@@ -84,7 +87,9 @@ type Result struct {
 }
 
 // Redundancy returns the average number of redundant copies per reached
-// node (0 when nothing was delivered beyond the source).
+// node. Received always contains the source, so the divisor is at least 1
+// for any simulated broadcast; the 0 return covers only the zero-value
+// Result.
 func (r *Result) Redundancy() float64 {
 	if len(r.Received) == 0 {
 		return 0
@@ -127,6 +132,14 @@ type Options struct {
 	// same tracer). nil — the default — costs one predicted branch per
 	// event site.
 	Tracer *obs.Tracer
+	// Faults, when non-nil, consults the fault oracle every slot: a crashed
+	// sender skips its queued transmission, and a copy is dropped when the
+	// receiver is down, a scripted partition separates the link, or the
+	// link's Gilbert–Elliott loss chain eats it. Independent of Loss (both
+	// can be active). nil — the default — adds one predicted branch per
+	// transmission and zero allocations. A down source yields a broadcast
+	// that never leaves the source.
+	Faults *faults.Oracle
 }
 
 // Run simulates one broadcast from source over g under the protocol with

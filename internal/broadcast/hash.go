@@ -1,0 +1,25 @@
+package broadcast
+
+// nodeHash mixes a protocol seed with a node id into a well-distributed
+// 64-bit value (murmur-style finalizer). It is the single source of the
+// per-node pseudo-randomness behind the deterministic back-off delays and
+// the gossip coin streams: distinct (seed, v) pairs land at unrelated
+// points of the hash space. Additive mixing (seed + v·odd) does not have
+// that property — (seed, v+1) and (seed+odd, v) would share a stream, so
+// adjacent nodes across adjacent replicate seeds would flip the same coins.
+func nodeHash(seed uint64, v int) uint64 {
+	h := seed ^ (uint64(v)+1)*0x9E3779B97F4A7C15
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return h
+}
+
+// backoffDelay maps a (seed, node) hash onto the back-off window
+// [0, maxDelay] — the shared implementation of every TimedProtocol.Delay.
+func backoffDelay(seed uint64, v, maxDelay int) int {
+	if maxDelay <= 0 {
+		return 0
+	}
+	return int(nodeHash(seed, v) % uint64(maxDelay+1))
+}

@@ -38,7 +38,10 @@ func (g Gossip) Start(source int) Packet { return nil }
 
 // OnReceive implements Protocol.
 func (g Gossip) OnReceive(v, x int, pkt Packet) (bool, Packet) {
-	r := rng.NewLabeled(g.Seed+uint64(v)*0x9E3779B97F4A7C15, "gossip")
+	// The stream must depend on seed and node jointly (nodeHash), not
+	// additively: Seed+v·odd made node v+1 under seed s share its coin with
+	// node v under seed s+odd, correlating adjacent replicates.
+	r := rng.NewLabeled(nodeHash(g.Seed, v), "gossip")
 	return r.Bool(g.P), nil
 }
 

@@ -28,14 +28,7 @@ func (c CounterBased) Name() string { return fmt.Sprintf("counter(%d)", c.Thresh
 
 // Delay implements TimedProtocol.
 func (c CounterBased) Delay(v int) int {
-	if c.MaxDelay <= 0 {
-		return 0
-	}
-	h := c.Seed ^ (uint64(v)+1)*0x9E3779B97F4A7C15
-	h ^= h >> 33
-	h *= 0xFF51AFD7ED558CCD
-	h ^= h >> 33
-	return int(h % uint64(c.MaxDelay+1))
+	return backoffDelay(c.Seed, v, c.MaxDelay)
 }
 
 // Decide implements TimedProtocol: forward iff fewer than Threshold copies
@@ -66,14 +59,7 @@ func (d DistanceBased) Name() string { return fmt.Sprintf("distance(%.1f)", d.Mi
 
 // Delay implements TimedProtocol.
 func (d DistanceBased) Delay(v int) int {
-	if d.MaxDelay <= 0 {
-		return 0
-	}
-	h := d.Seed ^ (uint64(v)+1)*0x9E3779B97F4A7C15
-	h ^= h >> 33
-	h *= 0xFF51AFD7ED558CCD
-	h ^= h >> 33
-	return int(h % uint64(d.MaxDelay+1))
+	return backoffDelay(d.Seed, v, d.MaxDelay)
 }
 
 // Decide implements TimedProtocol: forward iff all heard transmitters are

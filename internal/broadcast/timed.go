@@ -3,6 +3,7 @@ package broadcast
 import (
 	"container/heap"
 
+	"clustercast/internal/faults"
 	"clustercast/internal/graph"
 	"clustercast/internal/obs"
 )
@@ -63,6 +64,11 @@ func (q *eventQueue) Pop() interface{} {
 type TimedOptions struct {
 	// Tracer, when non-nil, records the run's typed event stream.
 	Tracer *obs.Tracer
+	// Faults, when non-nil, injects the fault schedule: a node that is down
+	// when its transmission or back-off decision is due stays silent (a
+	// crashed node misses its decision window for good), and copies are
+	// dropped per the oracle's link and receiver state.
+	Faults *faults.Oracle
 }
 
 // RunTimed simulates one broadcast under a back-off protocol. Transmission
@@ -82,6 +88,7 @@ func RunTimedOpts(g *graph.Graph, source int, p TimedProtocol, opt TimedOptions)
 	heard := make(map[int][]int)
 	decided := map[int]bool{source: true}
 	tr := opt.Tracer
+	fo := opt.Faults
 
 	var q eventQueue
 	seq := 0
@@ -93,16 +100,24 @@ func RunTimedOpts(g *graph.Graph, source int, p TimedProtocol, opt TimedOptions)
 	if tr != nil {
 		tr.Send(0, source, -1)
 	}
-	transmissions := 1
+	transmissions := 0
 
 	for q.Len() > 0 {
 		ev := heap.Pop(&q).(timedEvent)
 		switch ev.kind {
 		case 0: // transmission
+			if fo != nil && !fo.NodeUp(ev.node, ev.time) {
+				break // the sender crashed before its slot
+			}
+			transmissions++
 			if tr != nil {
 				tr.SetTime(ev.time + 1)
 			}
 			for _, v := range g.Neighbors(ev.node) {
+				if fo != nil && (!fo.NodeUp(v, ev.time+1) || !fo.LinkUp(ev.node, v, ev.time+1) ||
+					fo.CopyLost(ev.node, v, ev.time+1)) {
+					continue // receiver down, partitioned away, or a loss burst
+				}
 				heard[v] = append(heard[v], ev.node)
 				if res.Received[v] {
 					res.Duplicates++
@@ -129,9 +144,11 @@ func RunTimedOpts(g *graph.Graph, source int, p TimedProtocol, opt TimedOptions)
 				break
 			}
 			decided[v] = true
+			if fo != nil && !fo.NodeUp(v, ev.time) {
+				break // crashed nodes miss their decision window
+			}
 			if p.Decide(v, heard[v]) {
 				res.Forwarders[v] = true
-				transmissions++
 				if tr != nil {
 					tr.Send(ev.time, v, res.Parent[v])
 				}
@@ -171,14 +188,7 @@ func (s *SBA) Name() string { return "sba" }
 // Delay implements TimedProtocol: a deterministic per-node draw from
 // [0, MaxDelay].
 func (s *SBA) Delay(v int) int {
-	if s.MaxDelay <= 0 {
-		return 0
-	}
-	h := s.Seed ^ (uint64(v)+1)*0x9E3779B97F4A7C15
-	h ^= h >> 33
-	h *= 0xFF51AFD7ED558CCD
-	h ^= h >> 33
-	return int(h % uint64(s.MaxDelay+1))
+	return backoffDelay(s.Seed, v, s.MaxDelay)
 }
 
 // Decide implements TimedProtocol: forward iff some neighbor is not

@@ -59,7 +59,9 @@ func (r *WSResult) DeliveryRatio(n int) float64 {
 }
 
 // Redundancy returns the average number of redundant copies per reached
-// node.
+// node. The received count always includes the source, so the divisor is
+// at least 1 for any simulated broadcast; the 0 return covers only the
+// zero-value result.
 func (r *WSResult) Redundancy() float64 {
 	if r.nReceived == 0 {
 		return 0
@@ -188,6 +190,8 @@ func (ws *Workspace) RunOpts(g *graph.Graph, source int, p Protocol, opt Options
 	if opt.Loss > 0 {
 		loss = rng.NewLabeled(opt.Seed, "radio-loss")
 	}
+	fo := opt.Faults
+	faultSkips, faultDrops := 0, 0
 	tr := opt.Tracer
 	if tr != nil {
 		tr.SetTime(0)
@@ -200,12 +204,21 @@ func (ws *Workspace) RunOpts(g *graph.Graph, source int, p Protocol, opt Options
 	queue := append(ws.queue[:0], transmission{sender: source, pkt: start, time: 0})
 	for qi := 0; qi < len(queue); qi++ {
 		tx := queue[qi]
+		if fo != nil && !fo.NodeUp(tx.sender, tx.time) {
+			faultSkips++
+			continue // the sender crashed before its slot came up
+		}
 		if tr != nil {
 			tr.SetTime(tx.time + 1)
 		}
 		for _, v := range g.Neighbors(tx.sender) {
 			if loss != nil && loss.Bool(opt.Loss) {
 				continue // this copy was lost on the air
+			}
+			if fo != nil && (!fo.NodeUp(v, tx.time+1) || !fo.LinkUp(tx.sender, v, tx.time+1) ||
+				fo.CopyLost(tx.sender, v, tx.time+1)) {
+				faultDrops++
+				continue // receiver down, partitioned away, or a loss burst
 			}
 			var forward bool
 			var out Packet
@@ -246,8 +259,12 @@ func (ws *Workspace) RunOpts(g *graph.Graph, source int, p Protocol, opt Options
 	}
 	ws.queue = queue
 	mRuns.Inc()
-	mTransmissions.Add(int64(len(queue)))
+	mTransmissions.Add(int64(len(queue) - faultSkips))
 	mDeliveries.Add(int64(res.nReceived - 1))
 	mDuplicates.Add(int64(res.Duplicates))
+	if fo != nil {
+		mFaultSkips.Add(int64(faultSkips))
+		mFaultDrops.Add(int64(faultDrops))
+	}
 	return res
 }

@@ -39,6 +39,11 @@ type Clustering struct {
 	Members map[int][]int
 	// Rounds is the number of synchronous rounds the election took.
 	Rounds int
+	// When[v] is the 1-based election round in which v decided (declared
+	// itself head, or joined one). Elect-based constructions fill it; it is
+	// nil for clusterings assembled by other means (e.g. Maintain), which
+	// the localized backbone repair cannot replay.
+	When []int
 }
 
 // IsHead reports whether v is a clusterhead.

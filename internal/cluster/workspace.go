@@ -12,6 +12,7 @@ import "clustercast/internal/graph"
 type Workspace struct {
 	state    []electionState
 	headOf   []int
+	when     []int
 	rank     []int
 	tie      []int
 	active   []int
@@ -34,6 +35,7 @@ func (ws *Workspace) ensure(n int) {
 	if cap(ws.headOf) < n {
 		ws.state = make([]electionState, n)
 		ws.headOf = make([]int, n)
+		ws.when = make([]int, n)
 		ws.rank = make([]int, n)
 		ws.tie = make([]int, n)
 		ws.counts = make([]int, n)
@@ -43,6 +45,7 @@ func (ws *Workspace) ensure(n int) {
 	}
 	ws.state = ws.state[:n]
 	ws.headOf = ws.headOf[:n]
+	ws.when = ws.when[:n]
 	ws.rank = ws.rank[:n]
 	ws.tie = ws.tie[:n]
 	ws.counts = ws.counts[:n]
@@ -62,6 +65,7 @@ func (ws *Workspace) Elect(g *graph.Graph, prio Priority) *Clustering {
 	ws.ensure(n)
 	state := ws.state
 	headOf := ws.headOf
+	when := ws.when
 	for i := range state {
 		state[i] = candidate
 		headOf[i] = -1
@@ -120,6 +124,7 @@ func (ws *Workspace) Elect(g *graph.Graph, prio Priority) *Clustering {
 		for _, v := range declared {
 			state[v] = head
 			headOf[v] = v
+			when[v] = rounds
 			remaining--
 		}
 		// Phase 2: candidates adjacent to a head join the best one; nodes
@@ -138,6 +143,7 @@ func (ws *Workspace) Elect(g *graph.Graph, prio Priority) *Clustering {
 			if best != -1 {
 				state[v] = member
 				headOf[v] = best
+				when[v] = rounds
 				remaining--
 				continue
 			}
@@ -182,6 +188,6 @@ func (ws *Workspace) Elect(g *graph.Graph, prio Priority) *Clustering {
 		s += counts[h]
 		ws.heads = append(ws.heads, h)
 	}
-	ws.c = Clustering{Head: headOf, Heads: ws.heads, Members: ws.members, Rounds: rounds}
+	ws.c = Clustering{Head: headOf, Heads: ws.heads, Members: ws.members, Rounds: rounds, When: when}
 	return &ws.c
 }

@@ -29,6 +29,13 @@ const (
 	// EvCollision: Node heard >= 2 transmissions in slot T and decoded
 	// none (the slotted-MAC engine only).
 	EvCollision
+	// EvNodeCrash: Node went down at time T (fault-schedule churn).
+	EvNodeCrash
+	// EvNodeRecover: Node came back up at time T.
+	EvNodeRecover
+	// EvRepair: the backbone repair pass re-ran clusterhead Node's gateway
+	// selection at time T (Peer is the number of gateways selected).
+	EvRepair
 )
 
 // kindNames is the canonical wire spelling of each kind.
@@ -40,6 +47,9 @@ var kindNames = [...]string{
 	EvGatewaySelect: "gateway-select",
 	EvCoveragePrune: "coverage-prune",
 	EvCollision:     "collision",
+	EvNodeCrash:     "node-crash",
+	EvNodeRecover:   "node-recover",
+	EvRepair:        "backbone-repair",
 }
 
 // String returns the wire spelling of the kind.
@@ -235,6 +245,32 @@ func (t *Tracer) CoveragePrune(head, pruned int, rule PruneRule) {
 		return
 	}
 	t.record(Event{T: t.now, Kind: EvCoveragePrune, Node: head, Peer: pruned, Rule: rule})
+}
+
+// NodeCrash records node going down at time tm (fault-schedule churn).
+func (t *Tracer) NodeCrash(tm, node int) {
+	if t == nil {
+		return
+	}
+	t.record(Event{T: tm, Kind: EvNodeCrash, Node: node, Peer: -1})
+}
+
+// NodeRecover records node coming back up at time tm.
+func (t *Tracer) NodeRecover(tm, node int) {
+	if t == nil {
+		return
+	}
+	t.record(Event{T: tm, Kind: EvNodeRecover, Node: node, Peer: -1})
+}
+
+// Repair records the backbone repair pass re-running head's gateway
+// selection, yielding gateways selected nodes, at the current simulation
+// time.
+func (t *Tracer) Repair(head, gateways int) {
+	if t == nil {
+		return
+	}
+	t.record(Event{T: t.now, Kind: EvRepair, Node: head, Peer: gateways})
 }
 
 // Len returns the number of retained events.

@@ -1,0 +1,139 @@
+package reliable
+
+import (
+	"testing"
+
+	"clustercast/internal/faults"
+	"clustercast/internal/geom"
+)
+
+func TestFaultsZeroSpecMatchesClassic(t *testing.T) {
+	g := paperGraph()
+	tree, _ := buildTree(t, g, 0)
+	classic, err := Run(g, tree, 0, Config{Loss: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A no-fault oracle must not change the classic outcome except for the
+	// (gated) backoff bookkeeping; with no copies ever fault-dropped, no
+	// sender backs off past a round in which it would have succeeded —
+	// delivery must still happen.
+	o := faults.New(faults.Spec{}, g.N())
+	faulted, err := Run(g, tree, 0, Config{Loss: 0.2, Seed: 7, Faults: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !faulted.Delivered || faulted.Degraded {
+		t.Fatalf("zero-spec oracle degraded the run: %+v", faulted)
+	}
+	if !classic.Delivered {
+		t.Fatalf("classic run failed: %+v", classic)
+	}
+}
+
+func TestFaultsSeveredTreeReturnsDegradedNotError(t *testing.T) {
+	g := paperGraph()
+	tree, _ := buildTree(t, g, 0)
+	// A permanent full partition between x<0.5 and the rest: node 0 on one
+	// side, everyone else on the other. The tree is severed for the whole
+	// run; Run must give up with Degraded instead of erroring or spinning.
+	spec := faults.Spec{Partitions: []faults.Partition{
+		{Start: 0, End: 1 << 30, Vertical: true, Coord: 0.5},
+	}}
+	o := faults.New(spec, g.N())
+	pos := positionsSplit(g.N(), 0)
+	o.SetPositions(pos)
+	res, err := Run(g, tree, 0, Config{Faults: o, MaxRounds: 5000})
+	if err != nil {
+		t.Fatalf("severed tree must not error: %v", err)
+	}
+	if res.Delivered {
+		t.Fatal("nothing can cross a full partition")
+	}
+	if !res.Degraded {
+		t.Fatal("undelivered faulted run must report Degraded")
+	}
+	if res.Rounds >= 5000 {
+		t.Fatalf("stall exit did not engage: ran %d rounds", res.Rounds)
+	}
+}
+
+func TestFaultsTransientOutageRidesThrough(t *testing.T) {
+	g := paperGraph()
+	tree, _ := buildTree(t, g, 0)
+	// Partition only for rounds [1, 15): after it lifts, retransmissions
+	// must complete the delivery.
+	spec := faults.Spec{Partitions: []faults.Partition{
+		{Start: 1, End: 15, Vertical: true, Coord: 0.5},
+	}}
+	o := faults.New(spec, g.N())
+	o.SetPositions(positionsSplit(g.N(), 0))
+	res, err := Run(g, tree, 0, Config{Faults: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered || res.Degraded {
+		t.Fatalf("delivery must complete after the outage lifts: %+v", res)
+	}
+	if res.Rounds < 15 {
+		t.Fatalf("delivery finished in %d rounds, inside the outage window", res.Rounds)
+	}
+}
+
+func TestFaultsBackoffReducesTransmissions(t *testing.T) {
+	g := paperGraph()
+	tree, _ := buildTree(t, g, 0)
+	spec := faults.Spec{Partitions: []faults.Partition{
+		{Start: 0, End: 40, Vertical: true, Coord: 0.5},
+	}}
+	mk := func() *faults.Oracle {
+		o := faults.New(spec, g.N())
+		o.SetPositions(positionsSplit(g.N(), 0))
+		return o
+	}
+	res, err := Run(g, tree, 0, Config{Faults: mk()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Fatalf("delivery must complete after the outage: %+v", res)
+	}
+	// During the 40-round outage the source is the only sender (nobody
+	// else holds the packet) and capped exponential backoff bounds its
+	// retries well below one per round.
+	if res.Transmissions > 15+g.N()*4 {
+		t.Fatalf("backoff did not engage: %d transmissions", res.Transmissions)
+	}
+}
+
+func TestFaultsDeterministicUnderOracle(t *testing.T) {
+	g := paperGraph()
+	tree, _ := buildTree(t, g, 0)
+	spec := faults.Spec{MeanUp: 25, MeanDown: 10, Seed: 3, LossGood: 0.1, LossBad: 0.1}
+	run := func() *Result {
+		o := faults.New(spec, g.N())
+		res, err := Run(g, tree, 0, Config{Loss: 0.1, Seed: 9, Faults: o})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if *a != *b {
+		t.Fatalf("faulted reliable runs diverge: %+v vs %+v", a, b)
+	}
+}
+
+// positionsSplit puts node `left` at x = 0 and everyone else at x = 1, so
+// a vertical cut at 0.5 isolates it.
+func positionsSplit(n, left int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		if i == left {
+			pts[i] = geom.Point{X: 0, Y: 0}
+		} else {
+			pts[i] = geom.Point{X: 1, Y: 0}
+		}
+	}
+	return pts
+}

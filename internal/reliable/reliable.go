@@ -18,6 +18,7 @@ package reliable
 import (
 	"fmt"
 
+	"clustercast/internal/faults"
 	"clustercast/internal/fwdtree"
 	"clustercast/internal/graph"
 	"clustercast/internal/rng"
@@ -27,6 +28,12 @@ import (
 type Result struct {
 	// Delivered reports whether every node received the packet.
 	Delivered bool
+	// Degraded reports that the run ended without full delivery because the
+	// fault schedule severed the tree (or outlasted the retransmission
+	// budget): no sender made progress for a long stretch, so the engine
+	// gave up instead of spinning to MaxRounds. Only set under a fault
+	// oracle; a severed tree is an operating condition there, not an error.
+	Degraded bool
 	// Transmissions counts data transmissions (retransmissions included).
 	Transmissions int
 	// Acks counts acknowledgement messages sent.
@@ -43,6 +50,15 @@ type Config struct {
 	Seed uint64
 	// MaxRounds cuts off pathological runs (default 10·n, at least 100).
 	MaxRounds int
+	// Faults, when non-nil, injects the fault schedule (one oracle slot per
+	// round): a crashed node neither transmits nor receives — its radio is
+	// off but its packet memory survives the outage — and copies drop per
+	// the oracle's link and loss-chain state. Senders whose copies keep
+	// being lost back off exponentially (capped at 8 rounds between
+	// retries) instead of retransmitting every round, and a run that makes
+	// no progress for a long stretch returns Degraded instead of burning
+	// rounds to the cutoff. nil leaves the classic behavior bit-identical.
+	Faults *faults.Oracle
 }
 
 // Run performs one reliable broadcast of a packet originating at source
@@ -137,25 +153,75 @@ func Run(g *graph.Graph, t *fwdtree.Tree, source int, cfg Config) (*Result, erro
 		return false
 	}
 
+	fo := cfg.Faults
+	var attempts, nextTry []int
+	if fo != nil {
+		attempts = make([]int, n)
+		nextTry = make([]int, n)
+	}
+	// stallRounds bounds how long a faulted run keeps retrying without a
+	// single new delivery or acknowledgement before conceding degradation.
+	// It comfortably exceeds the backoff cap (8) plus any realistic outage
+	// the retransmission budget is meant to ride out.
+	const stallRounds = 64
+
 	res := &Result{}
+	lastProgress := 0
 	for round := 1; round <= maxRounds; round++ {
 		var senders []int
 		for v := 0; v < n; v++ {
-			if wantsToSend(v) {
-				senders = append(senders, v)
+			if !wantsToSend(v) {
+				continue
 			}
+			if fo != nil && (!fo.NodeUp(v, round) || round < nextTry[v]) {
+				continue // crashed, or backing off after lost retries
+			}
+			senders = append(senders, v)
+		}
+		if len(senders) == 0 && fo == nil {
+			break
+		}
+		if fo != nil && round-lastProgress > stallRounds {
+			break // nobody is getting through; the tree is severed
 		}
 		if len(senders) == 0 {
-			break
+			// Everyone owed something is down or backing off; idle the round.
+			// Quiescence under faults means nobody *wants* to send at all.
+			idle := true
+			for v := 0; v < n; v++ {
+				if wantsToSend(v) {
+					idle = false
+					break
+				}
+			}
+			if idle {
+				break
+			}
+			continue
 		}
 		res.Rounds = round
 		for _, s := range senders {
 			res.Transmissions++
+			if fo != nil {
+				attempts[s]++
+				backoff := 1 << (attempts[s] - 1)
+				if backoff > 8 {
+					backoff = 8
+				}
+				nextTry[s] = round + backoff
+			}
 			for _, v := range g.Neighbors(s) {
 				if loss.Bool(cfg.Loss) {
 					continue
 				}
-				has[v] = true
+				if fo != nil && (!fo.NodeUp(v, round) || !fo.LinkUp(s, v, round) ||
+					fo.CopyLost(s, v, round)) {
+					continue // receiver down, partitioned away, or a loss burst
+				}
+				if !has[v] {
+					has[v] = true
+					lastProgress = round
+				}
 				confirm(v, s) // hearing the packet from s proves s holds it
 				// v acknowledges the senders that wait on it: its parent
 				// pushing down, its dominator, its child pushing up, or an
@@ -167,6 +233,11 @@ func Run(g *graph.Graph, t *fwdtree.Tree, source int, cfg Config) (*Result, erro
 				if waiting && !knows(s, v) {
 					confirm(s, v)
 					res.Acks++
+					lastProgress = round
+					if fo != nil {
+						attempts[s] = 0 // fresh progress resets the backoff
+						nextTry[s] = 0
+					}
 				}
 			}
 		}
@@ -179,5 +250,6 @@ func Run(g *graph.Graph, t *fwdtree.Tree, source int, cfg Config) (*Result, erro
 			break
 		}
 	}
+	res.Degraded = fo != nil && !res.Delivered
 	return res, nil
 }

@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestSummaryEmptyMinMaxNaN is the regression test for the empty-summary
+// extremes: Min/Max used to return 0 for n == 0, indistinguishable from a
+// genuine 0 observation.
+func TestSummaryEmptyMinMaxNaN(t *testing.T) {
+	s := &Summary{}
+	if !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatalf("empty summary Min/Max = %g/%g, want NaN/NaN", s.Min(), s.Max())
+	}
+	s.Add(0)
+	if s.Min() != 0 || s.Max() != 0 {
+		t.Fatalf("a real 0 observation must survive: Min/Max = %g/%g", s.Min(), s.Max())
+	}
+}
+
+// TestReplicateAllSkippedYieldsEmptySummary drives the empty-summary path
+// through the replication loop, the way a heavy fault schedule would when
+// every replicate is discarded.
+func TestReplicateAllSkippedYieldsEmptySummary(t *testing.T) {
+	rule := StopRule{Confidence: 0.95, RelHalfWidth: 0.1, MinReplicates: 5, MaxReplicates: 20}
+	s, err := Replicate(rule, func(rep int) (float64, bool) { return 0, false })
+	if !errors.Is(err, ErrNoObservations) {
+		t.Fatalf("all-skip replicate: err = %v, want ErrNoObservations", err)
+	}
+	if s.N() != 0 {
+		t.Fatalf("all-skip replicate produced %d observations", s.N())
+	}
+	if !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatalf("all-skip summary Min/Max = %g/%g, want NaN", s.Min(), s.Max())
+	}
+
+	// The parallel driver must agree.
+	s2, err2 := ReplicateN(rule, 4, func(rep int) (float64, bool) { return 0, false })
+	if !errors.Is(err2, ErrNoObservations) {
+		t.Fatalf("parallel all-skip: err = %v, want ErrNoObservations", err2)
+	}
+	if s2.N() != 0 || !math.IsNaN(s2.Min()) || !math.IsNaN(s2.Max()) {
+		t.Fatalf("parallel all-skip summary: n=%d min=%g max=%g", s2.N(), s2.Min(), s2.Max())
+	}
+}

@@ -54,11 +54,23 @@ func (s *Summary) N() int { return s.n }
 // Mean returns the sample mean (0 for an empty summary).
 func (s *Summary) Mean() float64 { return s.mean }
 
-// Min returns the smallest observation.
-func (s *Summary) Min() float64 { return s.min }
+// Min returns the smallest observation (NaN for an empty summary — a 0
+// would be indistinguishable from a genuine 0 observation, e.g. when every
+// replicate of a point was skipped).
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
 
-// Max returns the largest observation.
-func (s *Summary) Max() float64 { return s.max }
+// Max returns the largest observation (NaN for an empty summary, like Min).
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
 
 // Variance returns the unbiased sample variance (0 when n < 2).
 func (s *Summary) Variance() float64 {

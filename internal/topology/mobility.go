@@ -1,6 +1,8 @@
 package topology
 
 import (
+	"math"
+
 	"clustercast/internal/geom"
 	"clustercast/internal/rng"
 )
@@ -99,6 +101,14 @@ func (m *RandomWaypoint) Step(dt float64) []geom.Point {
 				}
 				m.pauses[i] = m.PauseTime
 				m.retarget(i)
+				if remaining > 0 && m.pauses[i] <= 0 && distLeft == 0 &&
+					m.positions[i] == m.targets[i] {
+					// Degenerate configuration: the node already sits on its
+					// target, there is no pause to consume time, and the fresh
+					// target is the same point (zero-area bounds). No iteration
+					// can make progress, so the node is pinned for this step.
+					break
+				}
 			}
 		}
 	}
@@ -141,20 +151,32 @@ func (m *RandomWalk) Step(dt float64) []geom.Point {
 	return m.positions
 }
 
-// reflect mirrors a point back into bounds (one bounce is enough for the
-// step sizes used here; clamp handles pathological overshoot).
+// reflect mirrors a point back into bounds, bouncing off the walls as many
+// times as the overshoot requires. A single bounce followed by clamping —
+// the previous implementation — silently pins every step longer than the
+// area width onto the boundary, piling probability mass on the walls and
+// distorting the walk's stationary distribution once StepSize·dt approaches
+// the area size.
 func reflect(p geom.Point, b geom.Rect) geom.Point {
-	if p.X < b.MinX {
-		p.X = 2*b.MinX - p.X
+	p.X = reflect1(p.X, b.MinX, b.MaxX)
+	p.Y = reflect1(p.Y, b.MinY, b.MaxY)
+	return p
+}
+
+// reflect1 folds x into [lo, hi] under repeated mirror reflection. The
+// trajectory of a particle bouncing between two walls is a triangle wave of
+// period 2·(hi−lo), so the fold is closed-form rather than iterative.
+func reflect1(x, lo, hi float64) float64 {
+	w := hi - lo
+	if w <= 0 {
+		return lo // degenerate axis: everything collapses onto the wall
 	}
-	if p.X > b.MaxX {
-		p.X = 2*b.MaxX - p.X
+	d := math.Mod(x-lo, 2*w)
+	if d < 0 {
+		d += 2 * w
 	}
-	if p.Y < b.MinY {
-		p.Y = 2*b.MinY - p.Y
+	if d > w {
+		d = 2*w - d
 	}
-	if p.Y > b.MaxY {
-		p.Y = 2*b.MaxY - p.Y
-	}
-	return b.Clamp(p)
+	return lo + d
 }
