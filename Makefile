@@ -3,7 +3,7 @@ GO ?= go
 # Baseline the bench-compare target diffs against.
 BENCH_BASELINE ?= BENCH_PR3.json
 
-.PHONY: all ci build vet test test-race bench-smoke bench bench-compare bench-scale figures trace-smoke faults-smoke
+.PHONY: all ci build vet test test-race bench-smoke bench bench-compare bench-scale bench-batch figures trace-smoke faults-smoke
 
 all: vet test
 
@@ -42,6 +42,17 @@ bench-compare:
 bench-scale:
 	$(GO) test -run xxx -bench 'ScaleReplicate|ScaleKernels' -benchtime 10x . \
 		| $(GO) run ./cmd/benchcmp -baseline $(BENCH_BASELINE) -threshold 0.10
+
+# Bit-parallel replication gate: the n=1000 batch-vs-scalar point diffed
+# against BENCH_PR6.json, a race pass over the 64-wide engine's equivalence
+# suites, and the batched figure path end to end through the cmd/figures
+# -batch flag (the CSV bytes must not depend on -workers; see
+# TestBatchFiguresWorkerInvariant for the in-process version).
+bench-batch:
+	$(GO) test -run xxx -bench 'ReplicateBatch/n=1000$$' -benchtime 10x . \
+		| $(GO) run ./cmd/benchcmp -baseline BENCH_PR6.json -threshold 0.10
+	$(GO) test -race -run 'Batch' ./internal/broadcast ./internal/faults ./internal/stats ./internal/experiment
+	$(GO) run ./cmd/figures -fig gossip -quick -batch -seed 7 -workers 4 -format csv
 
 # Full benchmark suite (several minutes).
 bench:

@@ -39,6 +39,7 @@ type config struct {
 	maxN     int
 	outDir   string
 	workers  int
+	batch    bool
 	cpuProf  string
 	memProf  string
 	manifest string
@@ -51,7 +52,7 @@ var figureOrder = []string{
 	"ratio", "msg", "baselines", "tiebreak", "mobility", "delivery",
 	"sicds", "lossy", "maint", "passive", "reliable", "pruning",
 	"routing", "storm", "hier", "collision", "election", "covcost", "amort",
-	"faults", "burst",
+	"faults", "burst", "gossip",
 }
 
 // runners builds the figure constructors for a given configuration.
@@ -105,6 +106,11 @@ func runners(cfg config, rule stats.StopRule, ns []int) map[string]func() *exper
 		"burst": func() *experiment.Figure {
 			return experiment.Burstiness([]float64{1, 2, 4, 8, 16, 32}, 0.2, 60, 10, seed, rule)
 		},
+		"gossip": func() *experiment.Figure {
+			return experiment.GossipAblation(
+				[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8, 1},
+				[]float64{0, 0.1, 0.3}, 60, 10, seed, rule)
+		},
 	}
 }
 
@@ -133,6 +139,7 @@ func run(cfg config, stdout, stderr io.Writer) error {
 			Param("quick", cfg.quick).Param("maxn", cfg.maxN)
 	}
 	experiment.SetParallelism(cfg.workers)
+	experiment.SetBatchReplication(cfg.batch)
 	rule := stats.PaperRule()
 	if cfg.quick {
 		rule = stats.StopRule{Confidence: 0.95, RelHalfWidth: 0.15, MinReplicates: 10, MaxReplicates: 40}
@@ -232,6 +239,10 @@ func main() {
 	flag.StringVar(&cfg.outDir, "out", "", "also write each figure as <dir>/<id>.csv")
 	flag.IntVar(&cfg.workers, "workers", 0,
 		"replication worker count (0: GOMAXPROCS); results are bit-identical for any value")
+	flag.BoolVar(&cfg.batch, "batch", false,
+		"advance 64 replicates per machine word where the protocol and fault model allow it "+
+			"(loss/gossip sweeps); a different Monte-Carlo sample than the scalar default, "+
+			"still bit-identical across -workers values")
 	flag.StringVar(&cfg.cpuProf, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&cfg.memProf, "memprofile", "", "write a heap profile to this file after the run")
 	flag.StringVar(&cfg.manifest, "manifest", "",

@@ -1,0 +1,325 @@
+package broadcast
+
+import (
+	"fmt"
+	"math/bits"
+
+	"clustercast/internal/faults"
+	"clustercast/internal/graph"
+	"clustercast/internal/obs"
+	"clustercast/internal/rng"
+)
+
+// Batch-engine metrics.
+var (
+	mBatchRuns  = obs.NewCounter("broadcast.batch_runs")
+	mBatchSlots = obs.NewCounter("broadcast.batch_slots")
+)
+
+// domGossipForward is the lane-coin identity domain of the gossip forward
+// coin. It shares the (seed, key, slot, domain) identity space with the
+// batched fault chains (domains 1–4 in internal/faults), so even when a
+// figure reuses one seed for both the protocol and the fault spec the coin
+// spaces stay disjoint.
+const domGossipForward = 5
+
+// BatchProtocol is a forwarding policy the 64-wide engine can drive: the
+// forward decision is a pure function of the receiving node, answered for
+// all 64 replicate lanes at once. Lane recovers the scalar Protocol that
+// replays exactly one lane — the reference side of the batch/scalar
+// equivalence suite, and the contract that pins the batched kernels to the
+// sequential semantics.
+type BatchProtocol interface {
+	// Name labels the protocol in experiment output.
+	Name() string
+	// ForwardWord returns the lanes in which node v forwards on first
+	// reception: bit r set means replicate r's copy is relayed. Must be a
+	// pure function of v (same word on every call).
+	ForwardWord(v int) uint64
+	// Lane returns the scalar Protocol whose OnReceive decision at every
+	// node is bit r of ForwardWord.
+	Lane(r int) Protocol
+}
+
+// BatchFlooding is blind flooding, 64 lanes wide: every node forwards in
+// every lane.
+type BatchFlooding struct{}
+
+// Name implements BatchProtocol.
+func (BatchFlooding) Name() string { return "flooding" }
+
+// ForwardWord implements BatchProtocol.
+func (BatchFlooding) ForwardWord(v int) uint64 { return ^uint64(0) }
+
+// Lane implements BatchProtocol.
+func (BatchFlooding) Lane(r int) Protocol { return Flooding{} }
+
+// BatchGossip forwards with fixed probability P, one independent coin per
+// (node, lane). The coin word is a pure function of (Seed, v), drawn from
+// the lane-indexed counter generator — a different randomness discipline
+// than the scalar Gossip's per-node streams, which is why the batch opt-in
+// resamples rather than replays legacy gossip figures.
+type BatchGossip struct {
+	P    float64
+	Seed uint64
+}
+
+// Name implements BatchProtocol.
+func (g BatchGossip) Name() string { return fmt.Sprintf("gossip(%.2f)", g.P) }
+
+// ForwardWord implements BatchProtocol.
+func (g BatchGossip) ForwardWord(v int) uint64 {
+	return rng.BernoulliWord(g.P, g.Seed, uint64(v), 0, domGossipForward)
+}
+
+// Lane implements BatchProtocol.
+func (g BatchGossip) Lane(r int) Protocol { return laneGossip{batch: g, lane: r} }
+
+// laneGossip is the scalar single-lane view of BatchGossip: node v's coin
+// is bit lane of the batch coin word.
+type laneGossip struct {
+	NoDuplicates
+	batch BatchGossip
+	lane  int
+}
+
+// Name implements Protocol.
+func (g laneGossip) Name() string { return fmt.Sprintf("gossip-lane(%.2f/%d)", g.batch.P, g.lane) }
+
+// Start implements Protocol.
+func (g laneGossip) Start(source int) Packet { return nil }
+
+// OnReceive implements Protocol.
+func (g laneGossip) OnReceive(v, x int, pkt Packet) (bool, Packet) {
+	return rng.Lane(g.batch.ForwardWord(v), g.lane), nil
+}
+
+// BatchStaticCDS forwards through a precomputed CDS in every lane: the
+// forward set is deterministic, so all 64 lanes share it.
+type BatchStaticCDS struct {
+	Set   *graph.Bitset
+	Label string
+}
+
+// Name implements BatchProtocol.
+func (s BatchStaticCDS) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "static-cds"
+}
+
+// ForwardWord implements BatchProtocol.
+func (s BatchStaticCDS) ForwardWord(v int) uint64 {
+	if s.Set.Has(v) {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// Lane implements BatchProtocol.
+func (s BatchStaticCDS) Lane(r int) Protocol { return StaticCDSBits{Set: s.Set, Label: s.Label} }
+
+// NewBatchKernel maps a scalar Protocol onto its 64-wide kernel, or reports
+// that the protocol is scalar-only. n is the node count (needed to pack a
+// map-backed CDS). BatchCoverage documents the full decision table; the
+// boundary test in batch_boundary_test.go keeps the two in sync with the
+// actual Protocol implementations in the tree.
+func NewBatchKernel(p Protocol, n int) (BatchProtocol, bool) {
+	switch q := p.(type) {
+	case Flooding:
+		return BatchFlooding{}, true
+	case Gossip:
+		return BatchGossip{P: q.P, Seed: q.Seed}, true
+	case StaticCDS:
+		return BatchStaticCDS{Set: graph.BitsetFromSet(n, q.Set), Label: q.Label}, true
+	case StaticCDSBits:
+		return BatchStaticCDS{Set: q.Set, Label: q.Label}, true
+	}
+	return nil, false
+}
+
+// BatchCoverage is the authoritative batch/scalar boundary: every Protocol
+// implementation in the tree appears here, mapped to whether NewBatchKernel
+// covers it. The scalar-only entries carry state the bit-plane engine
+// cannot express — forward decisions driven by upstream packet contents
+// (MPR/DP/PDP relay lists), duplicate-triggered behavior, or mutable
+// per-run protocol state (dynamicb, passive). The boundary test fails when
+// a new Protocol implementation is missing from this table, so batch
+// support can never be claimed silently.
+var BatchCoverage = map[string]bool{
+	"broadcast.Flooding":      true,
+	"broadcast.Gossip":        true,
+	"broadcast.StaticCDS":     true,
+	"broadcast.StaticCDSBits": true,
+	"broadcast.laneGossip":    true, // lane view of BatchGossip, trivially covered
+	"broadcast.MPR":           false,
+	"broadcast.DP":            false,
+	"broadcast.PDP":           false,
+	"dynamicb.Protocol":       false,
+	"passive.Protocol":        false,
+}
+
+// BatchOptions tunes a 64-wide run. The zero value is the ideal radio.
+type BatchOptions struct {
+	// Chains, when non-nil, injects per-copy loss (i.i.d. or
+	// Gilbert–Elliott) lane by lane. Specs with churn or partitions are
+	// not batchable (faults.BatchSupported); callers fall back to the
+	// scalar path for those.
+	Chains *faults.ChainBatch
+}
+
+// BatchResult holds the per-lane observations of one 64-wide run, indexed
+// by replicate lane. Received, Forwards and Latency are defined exactly as
+// WSResult's ReceivedCount, ForwardCount and Latency; duplicates and
+// delivery parents are not tracked (covered protocols never act on
+// duplicates, and no estimator consumes parents).
+type BatchResult struct {
+	Received [graph.LaneCount]int
+	Forwards [graph.LaneCount]int
+	Latency  [graph.LaneCount]int
+}
+
+// DeliveryRatio returns lane r's delivered fraction over n nodes.
+func (r *BatchResult) DeliveryRatio(lane, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(r.Received[lane]) / float64(n)
+}
+
+// BatchWorkspace is the reusable state of the 64-wide broadcast engine:
+// bit-plane coverage, a slot-stamped arrival accumulator, and the frontier
+// lists. Like the scalar Workspace it allocates on first use and is then
+// allocation-free across runs; single-goroutine state, one per worker.
+type BatchWorkspace struct {
+	covered *graph.BitPlanes
+	arr     []uint64 // per-node arrival word of the current slot
+	txw     []uint64 // per-node transmit word while on the frontier
+	stamp   []uint32 // arrival-slot stamps (epoch-cleared like Workspace)
+	epoch   uint32
+	touched []int
+	active  []int
+	spare   []int
+	res     BatchResult
+}
+
+// grow sizes the workspace for n nodes.
+func (ws *BatchWorkspace) grow(n int) {
+	if ws.covered == nil {
+		ws.covered = graph.NewBitPlanes(n)
+	} else {
+		ws.covered.Reset(n)
+	}
+	if cap(ws.arr) < n {
+		ws.arr = make([]uint64, n)
+		ws.txw = make([]uint64, n)
+		ws.stamp = make([]uint32, n)
+		ws.epoch = 0
+	} else {
+		ws.arr = ws.arr[:n]
+		ws.txw = ws.txw[:n]
+		ws.stamp = ws.stamp[:n]
+	}
+}
+
+// Run advances 64 replicates of one broadcast from source in lockstep: one
+// slot-synchronous pass over the frontier per time slot, with every
+// per-replicate decision carried as one bit per lane in a machine word.
+//
+// Semantics mirror Workspace.RunOpts for covered protocols exactly, lane by
+// lane: the source transmits unconditionally at slot 0; a copy sent in slot
+// t arrives in slot t+1 unless the lane's loss coin eats it; a node
+// entering lane r's covered set forwards in that lane iff bit r of
+// ForwardWord(v) is set, transmitting in the next slot. Within-slot sender
+// order is immaterial — arrivals are accumulated before any delivery is
+// decided, and every loss coin is keyed by (link, slot), not by query
+// order — which is what lets 64 sequential replicates collapse into one
+// pass without reordering artifacts.
+func (ws *BatchWorkspace) Run(g *graph.Graph, source int, p BatchProtocol, opt BatchOptions) *BatchResult {
+	n := g.N()
+	ws.grow(n)
+	res := &ws.res
+	*res = BatchResult{}
+	for r := range res.Received {
+		res.Received[r] = 1
+		res.Forwards[r] = 1
+	}
+	ws.covered.SetWord(source, ^uint64(0))
+	ws.txw[source] = ^uint64(0)
+	active := append(ws.active[:0], source)
+	spare := ws.spare[:0]
+	touched := ws.touched[:0]
+	chains := opt.Chains
+	slots := 0
+
+	for t := 0; len(active) > 0; t++ {
+		slots++
+		ws.epoch++
+		if ws.epoch == 0 {
+			for i := range ws.stamp {
+				ws.stamp[i] = 0
+			}
+			ws.epoch = 1
+		}
+		epoch := ws.epoch
+		touched = touched[:0]
+		// Phase 1: accumulate arrivals of slot t+1 across the frontier.
+		for _, u := range active {
+			w := ws.txw[u]
+			for _, v := range g.Neighbors(u) {
+				arrive := w
+				if chains != nil {
+					arrive &^= chains.LossWord(u, v, t+1)
+				}
+				if arrive == 0 {
+					continue
+				}
+				if ws.stamp[v] != epoch {
+					ws.stamp[v] = epoch
+					ws.arr[v] = 0
+					touched = append(touched, v)
+				}
+				ws.arr[v] |= arrive
+			}
+		}
+		// Phase 2: deliver new lanes, decide forwards, build the next
+		// frontier. Order over touched nodes is immaterial: each lane's
+		// counts are sums over nodes and the forward coin depends only
+		// on v.
+		spare = spare[:0]
+		for _, v := range touched {
+			neww := ws.arr[v] &^ ws.covered.Word(v)
+			if neww == 0 {
+				continue
+			}
+			ws.covered.Or(v, neww)
+			for w := neww; w != 0; w &= w - 1 {
+				r := bits.TrailingZeros64(w)
+				res.Received[r]++
+				res.Latency[r] = t + 1
+			}
+			fw := neww & p.ForwardWord(v)
+			if fw == 0 {
+				continue
+			}
+			for w := fw; w != 0; w &= w - 1 {
+				res.Forwards[bits.TrailingZeros64(w)]++
+			}
+			ws.txw[v] = fw
+			spare = append(spare, v)
+		}
+		active, spare = spare, active
+	}
+	ws.active, ws.spare, ws.touched = active[:0], spare[:0], touched[:0]
+	mBatchRuns.Inc()
+	mBatchSlots.Add(int64(slots))
+	return res
+}
+
+// RunBatch is the convenience entry point: one 64-wide broadcast with a
+// throwaway workspace. Hot paths hold a BatchWorkspace instead.
+func RunBatch(g *graph.Graph, source int, p BatchProtocol, opt BatchOptions) *BatchResult {
+	var ws BatchWorkspace
+	return ws.Run(g, source, p, opt)
+}

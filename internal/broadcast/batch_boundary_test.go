@@ -1,0 +1,83 @@
+package broadcast
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// protocolImplDirs lists every package directory that implements
+// broadcast.Protocol (receivers with an OnReceive method). A package
+// growing its first Protocol must be added here AND to BatchCoverage.
+var protocolImplDirs = []string{".", "../dynamicb", "../passive"}
+
+// TestBatchCoverageComplete is the batch/scalar boundary gate: it scans the
+// protocol-implementing packages for OnReceive receivers and requires every
+// one to appear in BatchCoverage — either registered batchable (and then
+// NewBatchKernel must actually accept it, checked in TestNewBatchKernel) or
+// explicitly declared scalar-only. A new Protocol implementation fails this
+// test until its author decides which side of the boundary it lives on, so
+// batch support can never be claimed (or denied) silently.
+func TestBatchCoverageComplete(t *testing.T) {
+	found := map[string]bool{}
+	for _, dir := range protocolImplDirs {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("read %s: %v", dir, err)
+		}
+		for _, ent := range ents {
+			name := ent.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			fset := token.NewFileSet()
+			file, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				t.Fatalf("parse %s: %v", path, err)
+			}
+			pkg := file.Name.Name
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name.Name != "OnReceive" || fd.Recv == nil || len(fd.Recv.List) == 0 {
+					continue
+				}
+				found[pkg+"."+receiverTypeName(fd.Recv.List[0].Type)] = true
+			}
+		}
+	}
+	if len(found) == 0 {
+		t.Fatal("source scan found no Protocol implementations — scan broken?")
+	}
+	for impl := range found {
+		if _, ok := BatchCoverage[impl]; !ok {
+			t.Errorf("Protocol implementation %s is missing from BatchCoverage: register a batch kernel or declare it scalar-only", impl)
+		}
+	}
+	for entry := range BatchCoverage {
+		if !found[entry] {
+			t.Errorf("BatchCoverage entry %s matches no OnReceive implementation — stale?", entry)
+		}
+	}
+}
+
+// receiverTypeName unwraps a method receiver's type expression to its bare
+// type name (dropping any pointer and type parameters).
+func receiverTypeName(expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package broadcast
+
+import (
+	"fmt"
+	"testing"
+
+	"clustercast/internal/faults"
+	"clustercast/internal/graph"
+)
+
+// batchSpecs is the fault-spec matrix the equivalence suite claims: ideal
+// radio, i.i.d. loss, the SetBurst family, raw Gilbert–Elliott parameters,
+// and a warmed-up burst chain.
+func batchSpecs(t *testing.T) map[string]*faults.Spec {
+	t.Helper()
+	iid := &faults.Spec{LossGood: 0.2, Seed: 41}
+	burst := &faults.Spec{Seed: 42}
+	if err := burst.SetBurst(0.2, 4); err != nil {
+		t.Fatal(err)
+	}
+	raw := &faults.Spec{LossGood: 0.05, LossBad: 0.8, PGoodBad: 0.1, PBadGood: 0.3, Seed: 43}
+	warm := &faults.Spec{Seed: 44, Warmup: 200}
+	if err := warm.SetBurst(0.3, 8); err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*faults.Spec{
+		"ideal": nil,
+		"iid":   iid,
+		"burst": burst,
+		"rawGE": raw,
+		"warm":  warm,
+	}
+}
+
+// batchProtocols builds the protocol matrix over a given node count.
+func batchProtocols(n int) map[string]BatchProtocol {
+	cds := graph.NewBitset(n)
+	for v := 0; v < n; v += 2 {
+		cds.Add(v)
+	}
+	return map[string]BatchProtocol{
+		"flooding":   BatchFlooding{},
+		"gossip":     BatchGossip{P: 0.6, Seed: 9},
+		"static-cds": BatchStaticCDS{Set: cds, Label: "static-even"},
+	}
+}
+
+// TestBatchScalarEquivalence is the tentpole's correctness bar at the
+// engine level: for every claimed protocol × fault-spec combination, every
+// lane of one 64-wide run must match a scalar run of the real dense engine
+// driving that lane's Protocol view under that lane's fault view —
+// ReceivedCount, ForwardCount and Latency all bit-identical.
+func TestBatchScalarEquivalence(t *testing.T) {
+	nw := randomNet(t, 77, 50, 8)
+	g := nw.G
+	n := g.N()
+	source := 0
+	var bw BatchWorkspace
+	var sw Workspace
+	for pname, proto := range batchProtocols(n) {
+		for sname, spec := range batchSpecs(t) {
+			t.Run(pname+"/"+sname, func(t *testing.T) {
+				var opt BatchOptions
+				var ref *faults.ChainBatch
+				if spec != nil {
+					opt.Chains = faults.NewChainBatch(*spec)
+					ref = faults.NewChainBatch(*spec)
+				}
+				batch := bw.Run(g, source, proto, opt)
+				got := *batch // bw.res is reused; copy before the scalar runs
+				for r := 0; r < graph.LaneCount; r++ {
+					var sopt Options
+					if ref != nil {
+						sopt.Faults = faults.LaneModel{Batch: ref, Lane: r}
+					}
+					want := sw.RunOpts(g, source, proto.Lane(r), sopt)
+					if got.Received[r] != want.ReceivedCount() ||
+						got.Forwards[r] != want.ForwardCount() ||
+						got.Latency[r] != want.Latency {
+						t.Fatalf("lane %d: batch (recv=%d fwd=%d lat=%d) != scalar (recv=%d fwd=%d lat=%d)",
+							r, got.Received[r], got.Forwards[r], got.Latency[r],
+							want.ReceivedCount(), want.ForwardCount(), want.Latency)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchDeterministicReplay: a batch run is a pure function of its
+// inputs — rerunning with a fresh workspace and fresh chains replicates
+// every lane.
+func TestBatchDeterministicReplay(t *testing.T) {
+	nw := randomNet(t, 78, 60, 9)
+	spec := &faults.Spec{Seed: 5}
+	if err := spec.SetBurst(0.25, 4); err != nil {
+		t.Fatal(err)
+	}
+	run := func() BatchResult {
+		var ws BatchWorkspace
+		return *ws.Run(nw.G, 0, BatchGossip{P: 0.7, Seed: 3}, BatchOptions{Chains: faults.NewChainBatch(*spec)})
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatal("same inputs must replicate the batch run exactly")
+	}
+}
+
+// TestBatchWorkspaceReuse: reusing one workspace across runs of different
+// sizes leaks no state between runs.
+func TestBatchWorkspaceReuse(t *testing.T) {
+	big := randomNet(t, 79, 80, 9)
+	small := randomNet(t, 80, 30, 8)
+	var ws BatchWorkspace
+	first := *ws.Run(small.G, 0, BatchFlooding{}, BatchOptions{})
+	ws.Run(big.G, 0, BatchFlooding{}, BatchOptions{})
+	again := *ws.Run(small.G, 0, BatchFlooding{}, BatchOptions{})
+	if first != again {
+		t.Fatal("workspace reuse changed a run's result")
+	}
+	for r := 0; r < graph.LaneCount; r++ {
+		if first.Received[r] != small.G.N() {
+			t.Fatalf("lane %d: flooding on a connected graph covered %d/%d", r, first.Received[r], small.G.N())
+		}
+	}
+}
+
+// TestBatchSingleNode: a one-node graph terminates immediately with the
+// source covered and forwarding in every lane.
+func TestBatchSingleNode(t *testing.T) {
+	g := graph.New(1)
+	res := RunBatch(g, 0, BatchFlooding{}, BatchOptions{})
+	for r := 0; r < graph.LaneCount; r++ {
+		if res.Received[r] != 1 || res.Forwards[r] != 1 || res.Latency[r] != 0 {
+			t.Fatalf("lane %d: recv=%d fwd=%d lat=%d", r, res.Received[r], res.Forwards[r], res.Latency[r])
+		}
+	}
+}
+
+// TestNewBatchKernel: the registry maps each covered scalar Protocol onto
+// its kernel and declines the scalar-only ones.
+func TestNewBatchKernel(t *testing.T) {
+	set := map[int]bool{0: true, 2: true}
+	for _, tc := range []struct {
+		p    Protocol
+		want bool
+	}{
+		{Flooding{}, true},
+		{Gossip{P: 0.5, Seed: 1}, true},
+		{StaticCDS{Set: set, Label: "x"}, true},
+		{StaticCDSBits{Set: graph.BitsetOf(4, 0, 2), Label: "x"}, true},
+		{&MPR{}, false},
+		{&DP{}, false},
+		{&PDP{}, false},
+	} {
+		k, ok := NewBatchKernel(tc.p, 4)
+		if ok != tc.want {
+			t.Errorf("%T: batchable = %v, want %v", tc.p, ok, tc.want)
+		}
+		if ok && k == nil {
+			t.Errorf("%T: ok with nil kernel", tc.p)
+		}
+	}
+	// The map-backed CDS packs into the same kernel as the bitset one.
+	k, _ := NewBatchKernel(StaticCDS{Set: set}, 4)
+	if k.ForwardWord(0) == 0 || k.ForwardWord(1) != 0 || k.ForwardWord(2) == 0 {
+		t.Error("map-backed CDS kernel has wrong membership")
+	}
+}
+
+// FuzzBatchScalarAgree fuzzes the tentpole's equivalence over topology
+// size, loss rate, burst length and seed: spot-check lanes of a batched
+// flooding and gossip run against the scalar engine.
+func FuzzBatchScalarAgree(f *testing.F) {
+	f.Add(uint8(20), 0.2, uint8(4), uint64(1))
+	f.Add(uint8(40), 0.0, uint8(1), uint64(2))
+	f.Add(uint8(8), 0.45, uint8(8), uint64(3))
+	f.Add(uint8(33), 0.08, uint8(2), uint64(99))
+	f.Fuzz(func(t *testing.T, nRaw uint8, lossRaw float64, burstRaw uint8, seed uint64) {
+		n := 5 + int(nRaw)%60
+		loss := lossRaw
+		if loss < 0 || loss >= 0.95 {
+			loss = 0.95 / 2
+		}
+		burst := 1 + float64(burstRaw%16)
+		nw := randomNet(t, seed|1, n, 6)
+		g := nw.G
+		var spec faults.Spec
+		if err := spec.SetBurst(loss, burst); err != nil {
+			t.Skip(err)
+		}
+		spec.Seed = seed ^ 0xABCD
+		for i, proto := range []BatchProtocol{BatchFlooding{}, BatchGossip{P: 0.55, Seed: seed}} {
+			batch := RunBatch(g, 0, proto, BatchOptions{Chains: faults.NewChainBatch(spec)})
+			ref := faults.NewChainBatch(spec)
+			var sw Workspace
+			for _, r := range []int{0, 31, 63} {
+				want := sw.RunOpts(g, 0, proto.Lane(r), Options{Faults: faults.LaneModel{Batch: ref, Lane: r}})
+				if batch.Received[r] != want.ReceivedCount() ||
+					batch.Forwards[r] != want.ForwardCount() ||
+					batch.Latency[r] != want.Latency {
+					t.Fatalf("proto %d lane %d: batch (recv=%d fwd=%d lat=%d) != scalar (recv=%d fwd=%d lat=%d)",
+						i, r, batch.Received[r], batch.Forwards[r], batch.Latency[r],
+						want.ReceivedCount(), want.ForwardCount(), want.Latency)
+				}
+			}
+		}
+	})
+}
+
+// TestBatchGossipLaneNamesDistinct pins the lane protocols' debug names so
+// two lanes never alias in trace output.
+func TestBatchGossipLaneNamesDistinct(t *testing.T) {
+	g := BatchGossip{P: 0.3, Seed: 1}
+	if g.Lane(3).Name() == g.Lane(4).Name() {
+		t.Fatal("lane names alias")
+	}
+	if got := g.Name(); got != fmt.Sprintf("gossip(%.2f)", 0.3) {
+		t.Fatalf("batch gossip name %q", got)
+	}
+}

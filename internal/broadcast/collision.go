@@ -38,7 +38,7 @@ type MACOptions struct {
 	// down, partition, loss burst) never reach the receiver — so they do
 	// not take part in collision resolution either (fading happens before
 	// decoding).
-	Faults *faults.Oracle
+	Faults faults.Model
 }
 
 // CollisionResult extends Result with MAC-level accounting.

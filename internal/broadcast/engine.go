@@ -138,8 +138,10 @@ type Options struct {
 	// link's Gilbert–Elliott loss chain eats it. Independent of Loss (both
 	// can be active). nil — the default — adds one predicted branch per
 	// transmission and zero allocations. A down source yields a broadcast
-	// that never leaves the source.
-	Faults *faults.Oracle
+	// that never leaves the source. Usually a *faults.Oracle (whose methods
+	// tolerate a typed nil); the equivalence suite plugs in a
+	// faults.LaneModel to replay one lane of a 64-wide batch.
+	Faults faults.Model
 }
 
 // Run simulates one broadcast from source over g under the protocol with

@@ -8,6 +8,7 @@ import (
 	"clustercast/internal/cluster"
 	"clustercast/internal/coverage"
 	"clustercast/internal/dynamicb"
+	"clustercast/internal/faults"
 	"clustercast/internal/fwdtree"
 	"clustercast/internal/marking"
 	"clustercast/internal/mocds"
@@ -57,13 +58,27 @@ func SICDS(ns []int, d float64, seed uint64, rule stats.StopRule) *Figure {
 // MAC assumption hides: delivery ratio under per-link loss for flooding
 // (maximal redundancy), the static backbone, the dynamic backbone and the
 // MO_CDS. ABL-LOSSY. The sweep is over the loss probability.
+//
+// With SetBatchReplication on, the flooding, static-backbone and MO_CDS
+// series run on the 64-wide bit-parallel engine (i.i.d. loss expressed as
+// a transition-free Gilbert–Elliott spec, lane-indexed coins); the
+// dynamic backbone has no batch kernel and always takes the scalar path.
 func Lossy(losses []float64, n int, d float64, seed uint64, rule stats.StopRule) *Figure {
-	mk := func(name string, runOne func(nw *topology.Network, cl *cluster.Clustering, src int, opt broadcast.Options) *broadcast.Result) Series {
+	workers := Parallelism()
+	mk := func(name string, kernel BatchKernel, runOne func(nw *topology.Network, cl *cluster.Clustering, src int, opt broadcast.Options) *broadcast.Result) Series {
 		s := Series{Name: name, Points: make([]Point, len(losses))}
-		ForEachPoint(len(losses), func(i int) {
+		forEachPoint(len(losses), workers, func(i int) {
 			loss := losses[i]
 			sc := DefaultScenario(n, d, seed)
 			sc.Rule = rule
+			iid := faults.Spec{LossGood: loss}
+			if kernel != nil && useBatch(iid) {
+				spec := func(batch int) faults.Spec {
+					return faults.Spec{LossGood: loss, Seed: batchSeed(sc.Seed, batch)}
+				}
+				s.Points[i] = BatchSweepPoint(sc, workers, loss, fmt.Sprintf("lossy-%s-%g", name, loss), spec, kernel)
+				return
+			}
 			sum, err := stats.Replicate(sc.Rule, func(rep int) (float64, bool) {
 				nw, cl, r, ok := clusteredSample(sc, fmt.Sprintf("lossy-%s-%g", name, loss), rep)
 				if !ok {
@@ -86,17 +101,17 @@ func Lossy(losses []float64, n int, d float64, seed uint64, rule stats.StopRule)
 		Title:  fmt.Sprintf("Delivery ratio under per-link loss (n=%d, d=%g)", n, d),
 		XLabel: "loss probability", YLabel: "delivery ratio",
 		Series: []Series{
-			mk("flooding", func(nw *topology.Network, cl *cluster.Clustering, src int, opt broadcast.Options) *broadcast.Result {
+			mk("flooding", floodingKernel, func(nw *topology.Network, cl *cluster.Clustering, src int, opt broadcast.Options) *broadcast.Result {
 				return broadcast.RunOpts(nw.G, src, broadcast.Flooding{}, opt)
 			}),
-			mk("static-2.5hop", func(nw *topology.Network, cl *cluster.Clustering, src int, opt broadcast.Options) *broadcast.Result {
+			mk("static-2.5hop", staticCDSKernel, func(nw *topology.Network, cl *cluster.Clustering, src int, opt broadcast.Options) *broadcast.Result {
 				s := backbone.BuildStatic(nw.G, cl, coverage.Hop25)
 				return broadcast.RunOpts(nw.G, src, broadcast.StaticCDS{Set: s.Nodes}, opt)
 			}),
-			mk("dynamic-2.5hop", func(nw *topology.Network, cl *cluster.Clustering, src int, opt broadcast.Options) *broadcast.Result {
+			mk("dynamic-2.5hop", nil, func(nw *topology.Network, cl *cluster.Clustering, src int, opt broadcast.Options) *broadcast.Result {
 				return broadcast.RunOpts(nw.G, src, dynamicb.New(nw.G, cl, coverage.Hop25), opt)
 			}),
-			mk("mo-cds", func(nw *topology.Network, cl *cluster.Clustering, src int, opt broadcast.Options) *broadcast.Result {
+			mk("mo-cds", mocdsKernel, func(nw *topology.Network, cl *cluster.Clustering, src int, opt broadcast.Options) *broadcast.Result {
 				c := mocds.Build(nw.G, cl)
 				return broadcast.RunOpts(nw.G, src, broadcast.StaticCDS{Set: c.Nodes}, opt)
 			}),

@@ -167,23 +167,40 @@ func Faults(qs []float64, n int, d float64, seed uint64, rule stats.StopRule) *F
 // more than flooding because a burst takes out every retransmission
 // opportunity a single relay had, while flooding's redundancy rides across
 // independent links.
+// With SetBatchReplication on, every series but the dynamic backbone runs
+// on the 64-wide engine: SetBurst specs are transition-batchable (the
+// 64-chain Gilbert–Elliott state word in internal/faults), so a whole
+// batch's loss bursts advance per machine word. The churn figure above is
+// NOT batchable (faults.BatchSupported excludes node churn) and always
+// stays scalar — it is the opt-in's documented fallback.
 func Burstiness(burstLens []float64, p float64, n int, d float64, seed uint64, rule stats.StopRule) *Figure {
 	workers := Parallelism()
-	mk := func(name string, runOne func(nw *topology.Network, cl *cluster.Clustering, src int, opt broadcast.Options) *broadcast.Result) Series {
+	mk := func(name string, kernel BatchKernel, runOne func(nw *topology.Network, cl *cluster.Clustering, src int, opt broadcast.Options) *broadcast.Result) Series {
 		s := Series{Name: name, Points: make([]Point, len(burstLens))}
 		forEachPoint(len(burstLens), workers, func(i int) {
 			L := burstLens[i]
 			sc := DefaultScenario(n, d, seed)
 			sc.Rule = rule
+			var burst faults.Spec
+			if err := burst.SetBurst(p, L); err != nil {
+				s.Points[i] = Point{X: L}
+				return
+			}
+			if kernel != nil && useBatch(burst) {
+				spec := func(batch int) faults.Spec {
+					sp := burst
+					sp.Seed = batchSeed(sc.Seed, batch)
+					return sp
+				}
+				s.Points[i] = BatchSweepPoint(sc, workers, L, fmt.Sprintf("burst-%s-%g", name, L), spec, kernel)
+				return
+			}
 			sum, err := stats.ReplicateN(sc.Rule, workers, func(rep int) (float64, bool) {
 				nw, cl, r, ok := clusteredSample(sc, fmt.Sprintf("burst-%s-%g", name, L), rep)
 				if !ok {
 					return 0, false
 				}
-				var spec faults.Spec
-				if err := spec.SetBurst(p, L); err != nil {
-					return 0, false
-				}
+				spec := burst
 				spec.Seed = sc.Seed ^ uint64(rep)
 				o := faults.New(spec, nw.N())
 				res := runOne(nw, cl, r.source(nw.N()), broadcast.Options{Faults: o})
@@ -202,17 +219,17 @@ func Burstiness(burstLens []float64, p float64, n int, d float64, seed uint64, r
 		Title:  fmt.Sprintf("Delivery under bursty link loss, fixed rate p=%g (n=%d, d=%g)", p, n, d),
 		XLabel: "mean burst length", YLabel: "delivery ratio",
 		Series: []Series{
-			mk("flooding", func(nw *topology.Network, cl *cluster.Clustering, src int, opt broadcast.Options) *broadcast.Result {
+			mk("flooding", floodingKernel, func(nw *topology.Network, cl *cluster.Clustering, src int, opt broadcast.Options) *broadcast.Result {
 				return broadcast.RunOpts(nw.G, src, broadcast.Flooding{}, opt)
 			}),
-			mk("static-2.5hop", func(nw *topology.Network, cl *cluster.Clustering, src int, opt broadcast.Options) *broadcast.Result {
+			mk("static-2.5hop", staticCDSKernel, func(nw *topology.Network, cl *cluster.Clustering, src int, opt broadcast.Options) *broadcast.Result {
 				b := backbone.BuildStatic(nw.G, cl, coverage.Hop25)
 				return broadcast.RunOpts(nw.G, src, broadcast.StaticCDS{Set: b.Nodes}, opt)
 			}),
-			mk("dynamic-2.5hop", func(nw *topology.Network, cl *cluster.Clustering, src int, opt broadcast.Options) *broadcast.Result {
+			mk("dynamic-2.5hop", nil, func(nw *topology.Network, cl *cluster.Clustering, src int, opt broadcast.Options) *broadcast.Result {
 				return broadcast.RunOpts(nw.G, src, dynamicb.New(nw.G, cl, coverage.Hop25), opt)
 			}),
-			mk("mo-cds", func(nw *topology.Network, cl *cluster.Clustering, src int, opt broadcast.Options) *broadcast.Result {
+			mk("mo-cds", mocdsKernel, func(nw *topology.Network, cl *cluster.Clustering, src int, opt broadcast.Options) *broadcast.Result {
 				c := mocds.Build(nw.G, cl)
 				return broadcast.RunOpts(nw.G, src, broadcast.StaticCDS{Set: c.Nodes}, opt)
 			}),

@@ -33,6 +33,7 @@ type Workspace struct {
 	MOCDS    *mocds.Workspace
 	Dynamic  *dynamicb.Workspace
 	Bcast    *broadcast.Workspace
+	Batch    broadcast.BatchWorkspace
 
 	// Clock accumulates per-stage wall time for this worker when
 	// observability is enabled. SweepPoint merges worker clocks into the

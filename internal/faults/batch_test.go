@@ -1,0 +1,217 @@
+package faults
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"clustercast/internal/rng"
+)
+
+func TestBatchSupported(t *testing.T) {
+	var iid Spec
+	iid.LossGood = 0.2
+	var burst Spec
+	if err := burst.SetBurst(0.2, 4); err != nil {
+		t.Fatal(err)
+	}
+	var churn Spec
+	churn.MeanUp, churn.MeanDown = 100, 25
+	var part Spec
+	part.Partitions = []Partition{{Start: 0, End: 10, Coord: 500}}
+	for _, tc := range []struct {
+		name string
+		spec Spec
+		want bool
+	}{
+		{"zero", Spec{}, true},
+		{"iid", iid, true},
+		{"burst", burst, true},
+		{"churn", churn, false},
+		{"partition", part, false},
+	} {
+		if got := BatchSupported(tc.spec); got != tc.want {
+			t.Errorf("%s: BatchSupported = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestChainBatchDeterministicAndReplayable: words are a pure function of
+// (spec, link, slot) — a second batch and a behind-the-memo requery agree.
+func TestChainBatchDeterministicAndReplayable(t *testing.T) {
+	var spec Spec
+	if err := spec.SetBurst(0.3, 4); err != nil {
+		t.Fatal(err)
+	}
+	spec.Seed = 99
+	b1 := NewChainBatch(spec)
+	b2 := NewChainBatch(spec)
+	var forward []uint64
+	for s := 0; s < 50; s++ {
+		forward = append(forward, b1.LossWord(3, 7, s))
+	}
+	// Fresh batch, reverse query order: replay-from-zero must reproduce.
+	for s := 49; s >= 0; s-- {
+		if w := b2.LossWord(3, 7, s); w != forward[s] {
+			t.Fatalf("slot %d: reverse query %#x != forward %#x", s, w, forward[s])
+		}
+	}
+	// Behind-the-memo requery on the same batch.
+	if w := b1.LossWord(3, 7, 10); w != forward[10] {
+		t.Fatalf("requery slot 10: %#x != %#x", w, forward[10])
+	}
+}
+
+// TestChainBatchWarmupShifts: a warmed-up spec observes the same process
+// shifted by Warmup slots.
+func TestChainBatchWarmupShifts(t *testing.T) {
+	var spec Spec
+	if err := spec.SetBurst(0.25, 6); err != nil {
+		t.Fatal(err)
+	}
+	spec.Seed = 7
+	cold := NewChainBatch(spec)
+	spec.Warmup = 500
+	warm := NewChainBatch(spec)
+	for s := 0; s < 40; s++ {
+		if got, want := warm.LossWord(1, 2, s), cold.LossWord(1, 2, s+500); got != want {
+			t.Fatalf("slot %d: warm %#x != cold-shifted %#x", s, got, want)
+		}
+	}
+}
+
+// TestLaneModelMatchesWord: the scalar lane view is exactly bit r of the
+// batch word — the contract the equivalence suite rests on.
+func TestLaneModelMatchesWord(t *testing.T) {
+	var spec Spec
+	if err := spec.SetBurst(0.2, 4); err != nil {
+		t.Fatal(err)
+	}
+	spec.Seed = 11
+	batch := NewChainBatch(spec)
+	ref := NewChainBatch(spec)
+	for s := 0; s < 30; s++ {
+		w := batch.LossWord(0, 1, s)
+		for r := 0; r < 64; r++ {
+			m := LaneModel{Batch: ref, Lane: r}
+			if m.CopyLost(0, 1, s) != rng.Lane(w, r) {
+				t.Fatalf("slot %d lane %d mismatch", s, r)
+			}
+		}
+	}
+	m := LaneModel{Batch: ref}
+	if !m.NodeUp(0, 3) || !m.LinkUp(0, 1, 3) {
+		t.Fatal("LaneModel must report all nodes and links up")
+	}
+}
+
+// TestChainBatchIIDRate: the static (no-transition) path delivers i.i.d.
+// loss at the configured rate.
+func TestChainBatchIIDRate(t *testing.T) {
+	spec := Spec{LossGood: 0.3, Seed: 5}
+	b := NewChainBatch(spec)
+	const slots = 20000
+	total := 0
+	for s := 0; s < slots; s++ {
+		total += bits.OnesCount64(b.LossWord(0, 1, s))
+	}
+	got := float64(total) / (64 * slots)
+	if math.Abs(got-0.3) > 0.01 {
+		t.Errorf("iid loss rate %g, want ~0.3", got)
+	}
+}
+
+// geStats folds a loss sequence into (loss rate, mean burst length).
+type geStats struct {
+	slots, lost, runs, runLen int
+}
+
+func (g *geStats) observe(lost bool) {
+	g.slots++
+	if lost {
+		g.lost++
+		if g.runLen == 0 {
+			g.runs++
+		}
+		g.runLen++
+	} else {
+		g.runLen = 0
+	}
+}
+
+func (g *geStats) rate() float64 { return float64(g.lost) / float64(g.slots) }
+func (g *geStats) meanBurst() float64 {
+	if g.runs == 0 {
+		return 0
+	}
+	return float64(g.lost) / float64(g.runs)
+}
+
+// TestOracleGilbertElliottStationary is the statistical validation of the
+// scalar chain: under SetBurst(p, L) the long-run empirical loss rate must
+// converge to p and the mean length of consecutive-loss runs to L (the bad
+// state always loses and sojourns are geometric with mean L).
+func TestOracleGilbertElliottStationary(t *testing.T) {
+	const slots = 200000
+	for _, tc := range []struct{ p, L float64 }{
+		{0.1, 4}, {0.3, 8}, {0.2, 1},
+	} {
+		var spec Spec
+		if err := spec.SetBurst(tc.p, tc.L); err != nil {
+			t.Fatal(err)
+		}
+		spec.Seed = 20260808
+		o := New(spec, 2)
+		var g geStats
+		for s := 0; s < slots; s++ {
+			g.observe(o.CopyLost(0, 1, s))
+		}
+		if math.Abs(g.rate()-tc.p) > 0.05*tc.p+0.01 {
+			t.Errorf("(p=%g, L=%g): loss rate %g", tc.p, tc.L, g.rate())
+		}
+		if math.Abs(g.meanBurst()-tc.L) > 0.15*tc.L+0.1 {
+			t.Errorf("(p=%g, L=%g): mean burst %g", tc.p, tc.L, g.meanBurst())
+		}
+	}
+}
+
+// TestChainBatchStationary: every lane of the 64-wide chain follows the
+// same stationary law as the scalar chain.
+func TestChainBatchStationary(t *testing.T) {
+	const slots = 20000
+	for _, tc := range []struct{ p, L float64 }{
+		{0.1, 4}, {0.3, 8},
+	} {
+		var spec Spec
+		if err := spec.SetBurst(tc.p, tc.L); err != nil {
+			t.Fatal(err)
+		}
+		spec.Seed = 31337
+		b := NewChainBatch(spec)
+		var lanes [64]geStats
+		for s := 0; s < slots; s++ {
+			w := b.LossWord(0, 1, s)
+			for r := 0; r < 64; r++ {
+				lanes[r].observe(rng.Lane(w, r))
+			}
+		}
+		var agg geStats
+		for r := 0; r < 64; r++ {
+			agg.slots += lanes[r].slots
+			agg.lost += lanes[r].lost
+			agg.runs += lanes[r].runs
+		}
+		if math.Abs(agg.rate()-tc.p) > 0.05*tc.p+0.005 {
+			t.Errorf("(p=%g, L=%g): aggregate loss rate %g", tc.p, tc.L, agg.rate())
+		}
+		if math.Abs(agg.meanBurst()-tc.L) > 0.1*tc.L+0.05 {
+			t.Errorf("(p=%g, L=%g): aggregate mean burst %g", tc.p, tc.L, agg.meanBurst())
+		}
+		// And no individual lane far off the rate (loose per-lane band).
+		for r := 0; r < 64; r++ {
+			if math.Abs(lanes[r].rate()-tc.p) > 0.5*tc.p {
+				t.Errorf("(p=%g, L=%g) lane %d: loss rate %g", tc.p, tc.L, r, lanes[r].rate())
+			}
+		}
+	}
+}

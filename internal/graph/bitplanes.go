@@ -1,0 +1,111 @@
+package graph
+
+import "math/bits"
+
+// LaneCount is the replicate-lane width of the bit-parallel engines: one
+// machine word advances 64 replicates at a time.
+const LaneCount = 64
+
+// BitPlanes holds one bit-plane of per-node state per replicate lane,
+// transposed from the per-node bitsets of the scalar engines: node v's
+// uint64 word carries bit r for replicate r. Where a scalar broadcast run
+// keeps "covered" as one bit per node, a batch run keeps 64 such planes —
+// the same []uint64 storage, indexed by node instead of by word — so the
+// transmit/receive/suppress kernels advance all 64 replicates with ordinary
+// word operations.
+//
+// Like the dense workspaces it rides along with, a BitPlanes value is
+// single-goroutine state; give each worker its own.
+type BitPlanes struct {
+	w []uint64
+	n int
+}
+
+// NewBitPlanes returns planes for n nodes, all lanes clear.
+func NewBitPlanes(n int) *BitPlanes {
+	if n < 0 {
+		panic("graph: negative bit-plane capacity")
+	}
+	return &BitPlanes{w: make([]uint64, n), n: n}
+}
+
+// Reset re-sizes the planes to n nodes and clears every lane, reusing the
+// storage when it suffices (the workspace-reuse companion of NewBitPlanes).
+func (b *BitPlanes) Reset(n int) {
+	if n < 0 {
+		panic("graph: negative bit-plane capacity")
+	}
+	if cap(b.w) < n {
+		b.w = make([]uint64, n)
+		b.n = n
+		return
+	}
+	b.w = b.w[:n]
+	for i := range b.w {
+		b.w[i] = 0
+	}
+	b.n = n
+}
+
+// N returns the node count.
+func (b *BitPlanes) N() int { return b.n }
+
+// Word returns node v's lane word.
+func (b *BitPlanes) Word(v int) uint64 { return b.w[v] }
+
+// SetWord overwrites node v's lane word.
+func (b *BitPlanes) SetWord(v int, w uint64) { b.w[v] = w }
+
+// Or adds lanes to node v's word (in-place union).
+func (b *BitPlanes) Or(v int, w uint64) { b.w[v] |= w }
+
+// AndNot removes lanes from node v's word (in-place difference).
+func (b *BitPlanes) AndNot(v int, w uint64) { b.w[v] &^= w }
+
+// Has reports whether lane r is set at node v.
+func (b *BitPlanes) Has(v, r int) bool { return b.w[v]>>(uint(r)&63)&1 != 0 }
+
+// LaneCountAt returns the number of nodes whose lane r bit is set — the
+// per-replicate population of the plane (e.g. lane r's covered-node count).
+func (b *BitPlanes) LaneCountAt(r int) int {
+	mask := uint64(1) << (uint(r) & 63)
+	c := 0
+	for _, w := range b.w {
+		if w&mask != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// Counts adds, for every lane r, the number of nodes with bit r set into
+// dst[r]. It is the column-count the batch engines fold incrementally; a
+// full-plane scan is provided for verification and end-of-run summaries.
+func (b *BitPlanes) Counts(dst *[LaneCount]int) {
+	for _, w := range b.w {
+		for w != 0 {
+			dst[bits.TrailingZeros64(w)]++
+			w &= w - 1
+		}
+	}
+}
+
+// LaneBitset copies lane r into dst (capacity dst.Cap() must be ≥ n; dst is
+// Reset first). It is the bridge back to the scalar world: lane r of a
+// batch run's covered planes is exactly the scalar run's covered bitset.
+func (b *BitPlanes) LaneBitset(r int, dst *Bitset) {
+	dst.Reset(b.n)
+	mask := uint64(1) << (uint(r) & 63)
+	for v, w := range b.w {
+		if w&mask != 0 {
+			dst.Add(v)
+		}
+	}
+}
+
+// Fill sets every node's lane word to w.
+func (b *BitPlanes) Fill(w uint64) {
+	for i := range b.w {
+		b.w[i] = w
+	}
+}

@@ -1,0 +1,71 @@
+package graph
+
+import "testing"
+
+func TestBitPlanesBasics(t *testing.T) {
+	b := NewBitPlanes(5)
+	if b.N() != 5 {
+		t.Fatalf("N = %d", b.N())
+	}
+	b.Or(2, 1<<7|1<<63)
+	b.SetWord(4, 1<<7)
+	if !b.Has(2, 7) || !b.Has(2, 63) || b.Has(2, 8) {
+		t.Fatal("Has after Or wrong")
+	}
+	if got := b.LaneCountAt(7); got != 2 {
+		t.Fatalf("LaneCountAt(7) = %d, want 2", got)
+	}
+	if got := b.LaneCountAt(63); got != 1 {
+		t.Fatalf("LaneCountAt(63) = %d, want 1", got)
+	}
+	b.AndNot(2, 1<<63)
+	if b.Has(2, 63) {
+		t.Fatal("AndNot did not clear lane")
+	}
+}
+
+func TestBitPlanesResetReusesAndClears(t *testing.T) {
+	b := NewBitPlanes(8)
+	b.Fill(^uint64(0))
+	b.Reset(4)
+	for v := 0; v < 4; v++ {
+		if b.Word(v) != 0 {
+			t.Fatalf("word %d not cleared: %#x", v, b.Word(v))
+		}
+	}
+	// Growing back must not resurrect stale lanes.
+	b.Reset(8)
+	for v := 0; v < 8; v++ {
+		if b.Word(v) != 0 {
+			t.Fatalf("grown word %d not cleared: %#x", v, b.Word(v))
+		}
+	}
+}
+
+func TestBitPlanesCounts(t *testing.T) {
+	b := NewBitPlanes(6)
+	b.Or(0, 1<<3)
+	b.Or(1, 1<<3|1<<5)
+	b.Or(5, 1<<3)
+	var counts [LaneCount]int
+	b.Counts(&counts)
+	if counts[3] != 3 || counts[5] != 1 || counts[0] != 0 {
+		t.Fatalf("counts = lane3:%d lane5:%d lane0:%d", counts[3], counts[5], counts[0])
+	}
+}
+
+func TestBitPlanesLaneBitset(t *testing.T) {
+	b := NewBitPlanes(70)
+	b.Or(0, 1<<9)
+	b.Or(69, 1<<9)
+	b.Or(33, 1<<8)
+	var s Bitset
+	b.LaneBitset(9, &s)
+	if !s.Has(0) || !s.Has(69) || s.Has(33) || s.Count() != 2 {
+		t.Fatalf("lane 9 bitset wrong: members %v", s.Members())
+	}
+	b.LaneBitset(8, &s)
+	if !s.Has(33) || s.Count() != 1 {
+		t.Fatalf("lane 8 bitset wrong: members %v", s.Members())
+	}
+}

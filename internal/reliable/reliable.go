@@ -58,7 +58,7 @@ type Config struct {
 	// retries) instead of retransmitting every round, and a run that makes
 	// no progress for a long stretch returns Degraded instead of burning
 	// rounds to the cutoff. nil leaves the classic behavior bit-identical.
-	Faults *faults.Oracle
+	Faults faults.Model
 }
 
 // Run performs one reliable broadcast of a packet originating at source

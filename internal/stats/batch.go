@@ -1,0 +1,100 @@
+package stats
+
+import "sync"
+
+// BatchLanes is the replicate width of one batched estimator call: the
+// bit-parallel engines advance 64 replicates per machine word, so a batch
+// estimator observes 64 replicates at once. Batch b covers replicates
+// [64b, 64b+64), lane l of batch b being replicate 64b+l.
+const BatchLanes = 64
+
+// BatchObs carries one batch's observations: X[l] is lane l's value, OK[l]
+// false skips that lane (a discarded replicate, exactly like the scalar
+// estimators' ok=false).
+type BatchObs struct {
+	X  [BatchLanes]float64
+	OK [BatchLanes]bool
+}
+
+// ReplicateBatch drives a 64-wide batched estimator until the stopping rule
+// is met. One estimator call produces the observations of 64 consecutive
+// replicates; they are folded strictly in replicate order, re-checking the
+// rule before each — exactly the schedule of the sequential Replicate loop
+// over the lane-decomposed scalar estimator. The estimator must derive all
+// randomness from the batch index alone (the lane-indexed coin discipline
+// of the batch kernels guarantees this), so the resulting Summary is
+// bit-identical to the scalar path for every worker count: parallelism and
+// batching only change how many speculative replicates past the stop point
+// are computed and discarded (at most 64·workers−1).
+//
+// As in ReplicateNWorker, batch b always runs on worker b % workers, so
+// per-worker workspaces keep a deterministic schedule. Workers are a
+// persistent pool for the life of the call.
+func ReplicateBatch(rule StopRule, workers int, estimator func(worker, batch int) BatchObs) (*Summary, error) {
+	rule = rule.normalized()
+	s := &Summary{}
+	skips := 0
+	// fold plays one batch's lanes through the stopping rule in replicate
+	// order; done means the caller returns (s, err) immediately.
+	fold := func(o *BatchObs) (bool, error) {
+		for l := 0; l < BatchLanes; l++ {
+			if rule.Done(s) {
+				return true, nil
+			}
+			if !o.OK[l] {
+				skips++
+				mSkips.Inc()
+				if done, err := skip(rule, s, &skips); done {
+					return true, err
+				}
+				continue
+			}
+			s.Add(o.X[l])
+			mObservations.Inc()
+		}
+		return false, nil
+	}
+	if workers <= 1 {
+		for b := 0; ; b++ {
+			if rule.Done(s) {
+				return s, nil
+			}
+			o := estimator(0, b)
+			if done, err := fold(&o); done {
+				return s, err
+			}
+		}
+	}
+	results := make([]BatchObs, workers)
+	feed := make([]chan int, workers)
+	var wg sync.WaitGroup
+	for i := range feed {
+		feed[i] = make(chan int, 1)
+		go func(i int) {
+			for b := range feed[i] {
+				results[i] = estimator(i, b)
+				wg.Done()
+			}
+		}(i)
+	}
+	defer func() {
+		for _, ch := range feed {
+			close(ch)
+		}
+	}()
+	for next := 0; ; next += workers {
+		if rule.Done(s) {
+			return s, nil
+		}
+		wg.Add(workers)
+		for i, ch := range feed {
+			ch <- next + i
+		}
+		wg.Wait()
+		for i := 0; i < workers; i++ {
+			if done, err := fold(&results[i]); done {
+				return s, err
+			}
+		}
+	}
+}

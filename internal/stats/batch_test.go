@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"errors"
+	"testing"
+)
+
+// laneValue is a deterministic pseudo-observation for replicate rep: a
+// fixed-point hash in [0.5, 1.5) so means stay away from zero and the rule
+// terminates.
+func laneValue(rep int) float64 {
+	h := uint64(rep+1) * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return 0.5 + float64(h>>11)/(1<<53)
+}
+
+// laneOK skips roughly one replicate in seven.
+func laneOK(rep int) bool {
+	return (uint64(rep+1)*0xFF51AFD7ED558CCD>>33)%7 != 0
+}
+
+// summariesEqual compares every exported moment exactly: bit-identity is
+// the contract.
+func summariesEqual(a, b *Summary) bool {
+	if a.N() != b.N() || a.Mean() != b.Mean() || a.Variance() != b.Variance() {
+		return false
+	}
+	if a.N() == 0 {
+		return true
+	}
+	return a.Min() == b.Min() && a.Max() == b.Max()
+}
+
+// TestReplicateBatchMatchesScalar is the stats-level half of the tentpole's
+// correctness bar: folding 64-wide batches must yield the same Summary,
+// bit for bit, as the sequential Replicate over the lane-decomposed scalar
+// estimator — at every worker count, with and without skipped lanes.
+func TestReplicateBatchMatchesScalar(t *testing.T) {
+	rule := StopRule{MinReplicates: 100, MaxReplicates: 1000}
+	for _, withSkips := range []bool{false, true} {
+		ok := func(rep int) bool { return !withSkips || laneOK(rep) }
+		want, err := Replicate(rule, func(rep int) (float64, bool) {
+			return laneValue(rep), ok(rep)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := func(_, batch int) BatchObs {
+			var o BatchObs
+			for l := 0; l < BatchLanes; l++ {
+				rep := batch*BatchLanes + l
+				o.X[l], o.OK[l] = laneValue(rep), ok(rep)
+			}
+			return o
+		}
+		for workers := 1; workers <= 8; workers++ {
+			got, err := ReplicateBatch(rule, workers, est)
+			if err != nil {
+				t.Fatalf("skips=%v workers=%d: %v", withSkips, workers, err)
+			}
+			if !summariesEqual(got, want) {
+				t.Errorf("skips=%v workers=%d: batch summary (n=%d mean=%v var=%v) != scalar (n=%d mean=%v var=%v)",
+					withSkips, workers, got.N(), got.Mean(), got.Variance(),
+					want.N(), want.Mean(), want.Variance())
+			}
+		}
+	}
+}
+
+// TestReplicateBatchAllSkipped: an estimator that never observes ends with
+// ErrNoObservations, like the scalar path.
+func TestReplicateBatchAllSkipped(t *testing.T) {
+	rule := StopRule{MinReplicates: 10, MaxReplicates: 20}
+	for _, workers := range []int{1, 4} {
+		_, err := ReplicateBatch(rule, workers, func(_, _ int) BatchObs { return BatchObs{} })
+		if !errors.Is(err, ErrNoObservations) {
+			t.Fatalf("workers=%d: err = %v, want ErrNoObservations", workers, err)
+		}
+	}
+}
+
+// TestReplicateBatchWorkerSchedule: batch b always lands on worker
+// b % workers (per-worker workspaces depend on it).
+func TestReplicateBatchWorkerSchedule(t *testing.T) {
+	const workers = 4
+	rule := StopRule{MinReplicates: 64 * workers * 3, MaxReplicates: 64 * workers * 3}
+	var bad [workers]bool
+	_, err := ReplicateBatch(rule, workers, func(worker, batch int) BatchObs {
+		if batch%workers != worker {
+			bad[worker] = true
+		}
+		var o BatchObs
+		for l := range o.X {
+			o.X[l], o.OK[l] = laneValue(batch*BatchLanes+l), true
+		}
+		return o
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, b := range bad {
+		if b {
+			t.Errorf("worker %d saw a batch not congruent to it", w)
+		}
+	}
+}
+
+// TestReplicateNWorkerPooledAllocs is the worker-pool regression gate: the
+// per-round goroutine spawn is gone, so allocations are a constant of the
+// pool, not of the round count. The old implementation allocated at least
+// one goroutine per worker per round (hundreds of allocations across the
+// extra rounds measured here).
+func TestReplicateNWorkerPooledAllocs(t *testing.T) {
+	const workers = 4
+	est := func(worker, rep int) (float64, bool) { return laneValue(rep), true }
+	run := func(reps int) func() {
+		rule := StopRule{MinReplicates: reps, MaxReplicates: reps}
+		return func() {
+			if _, err := ReplicateNWorker(rule, workers, est); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	short := testing.AllocsPerRun(10, run(8*workers))
+	long := testing.AllocsPerRun(10, run(200*workers))
+	// 192 extra rounds; the old spawn-per-round loop cost ≥ workers allocs
+	// per round. Allow a little scheduler noise, nothing near that.
+	if long > short+24 {
+		t.Errorf("allocs grow with round count: %v for %d rounds vs %v for %d rounds",
+			long, 200, short, 8)
+	}
+}
+
+// TestReplicateNWorkerPoolStillExact: the pooled rewrite keeps the
+// bit-identical-to-sequential contract.
+func TestReplicateNWorkerPoolStillExact(t *testing.T) {
+	rule := StopRule{MinReplicates: 50, MaxReplicates: 500}
+	want, err := Replicate(rule, func(rep int) (float64, bool) { return laneValue(rep), laneOK(rep) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for workers := 2; workers <= 8; workers++ {
+		got, err := ReplicateNWorker(rule, workers, func(_, rep int) (float64, bool) {
+			return laneValue(rep), laneOK(rep)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !summariesEqual(got, want) {
+			t.Errorf("workers=%d: pooled summary differs from sequential", workers)
+		}
+	}
+}

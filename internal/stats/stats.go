@@ -337,6 +337,12 @@ func ReplicateN(rule StopRule, workers int, estimator func(rep int) (float64, bo
 // [0, workers) — replicate rep always runs on worker rep % workers — so
 // each worker can keep one workspace and the schedule stays deterministic.
 // The sequential path (workers <= 1) always passes worker 0.
+//
+// The workers are a persistent pool for the life of the call: spawned
+// once, fed one replicate index per round over per-worker channels, and
+// released on return. A round therefore costs one channel round-trip per
+// worker instead of a goroutine spawn, and the steady-state loop does not
+// allocate (see TestReplicateNWorkerPooledAllocs).
 func ReplicateNWorker(rule StopRule, workers int, estimator func(worker, rep int) (float64, bool)) (*Summary, error) {
 	if workers <= 1 {
 		return Replicate(rule, func(rep int) (float64, bool) {
@@ -351,18 +357,30 @@ func ReplicateNWorker(rule StopRule, workers int, estimator func(worker, rep int
 		ok bool
 	}
 	batch := make([]spec, workers)
+	feed := make([]chan int, workers)
+	var wg sync.WaitGroup
+	for i := range feed {
+		feed[i] = make(chan int, 1)
+		go func(i int) {
+			for rep := range feed[i] {
+				x, ok := estimator(i, rep)
+				batch[i] = spec{x, ok}
+				wg.Done()
+			}
+		}(i)
+	}
+	defer func() {
+		for _, ch := range feed {
+			close(ch)
+		}
+	}()
 	for next := 0; ; next += workers {
 		if rule.Done(s) {
 			return s, nil
 		}
-		var wg sync.WaitGroup
-		for i := 0; i < workers; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				x, ok := estimator(i, next+i)
-				batch[i] = spec{x, ok}
-			}(i)
+		wg.Add(workers)
+		for i, ch := range feed {
+			ch <- next + i
 		}
 		wg.Wait()
 		for i := 0; i < workers; i++ {
