@@ -3,7 +3,7 @@ GO ?= go
 # Baseline the bench-compare target diffs against.
 BENCH_BASELINE ?= BENCH_PR3.json
 
-.PHONY: all ci build vet test test-race bench-smoke bench bench-compare bench-scale bench-batch figures trace-smoke faults-smoke
+.PHONY: all ci build vet test test-race bench-smoke bench bench-compare bench-scale bench-batch bench-des figures trace-smoke faults-smoke
 
 all: vet test
 
@@ -53,6 +53,18 @@ bench-batch:
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_PR6.json -threshold 0.10
 	$(GO) test -race -run 'Batch' ./internal/broadcast ./internal/faults ./internal/stats ./internal/experiment
 	$(GO) run ./cmd/figures -fig gossip -quick -batch -seed 7 -workers 4 -format csv
+
+# Event-calendar engine gate: the n=1000 des-vs-scalar points diffed against
+# BENCH_PR7.json, a race pass over the calendar's equivalence suites (wheel,
+# shards, the three engine ports and the figure-level bit-identity sweep),
+# and the -des figure path end to end through cmd/figures (the CSV bytes are
+# identical to the scalar engines by construction; see
+# TestDESFiguresBitIdentical for the in-process version).
+bench-des:
+	$(GO) test -run xxx -bench 'DES(MAC|Wire|Timed)/n=1000$$' -benchtime 10x . \
+		| $(GO) run ./cmd/benchcmp -baseline BENCH_PR7.json -threshold 0.10
+	$(GO) test -race -run 'DES|Wheel|Shards' ./internal/des ./internal/broadcast ./internal/sim ./internal/experiment
+	$(GO) run ./cmd/figures -fig gossip -quick -des -seed 7 -workers 4 -format csv
 
 # Full benchmark suite (several minutes).
 bench:

@@ -963,3 +963,115 @@ func BenchmarkReplicateBatch(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDESMAC compares the scalar slotted-collision engine against the
+// event-calendar port at sizes up to two orders of magnitude past the
+// paper's sweep. The topology is sampled once outside the timer; each
+// iteration replays one full broadcast. The gossip variant thins the
+// forwarder set, so with an 8-slot contention window most calendar slots
+// are sparsely occupied — the regime the bucketed timestamp wheel and the
+// epoch-stamped receiver state pay off in (the scalar engine rebuilds its
+// per-slot maps either way). The des rows report ~0 allocs/op: the event
+// loop runs allocation-free once the workspace is warm.
+func BenchmarkDESMAC(b *testing.B) {
+	protos := []struct {
+		name string
+		p    broadcast.Protocol
+	}{
+		{"flooding", broadcast.Flooding{}},
+		{"gossip65", broadcast.Gossip{P: 0.65, Seed: 7}},
+	}
+	for _, n := range []int{1000, 10000, 100000} {
+		for _, pr := range protos {
+			opt := broadcast.MACOptions{Jitter: 8, Seed: 7}
+			b.Run(fmt.Sprintf("n=%d/%s-scalar", n, pr.name), func(b *testing.B) {
+				if testing.Short() && n > 10000 {
+					b.Skip("n=100000 runs take seconds; skipped under -short")
+				}
+				g := sample(b, n, 18, 0).Graph()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res := broadcast.RunMAC(g, 0, pr.p, opt)
+					if len(res.Received) < 2 {
+						b.Fatal("broadcast did not spread")
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("n=%d/%s-des", n, pr.name), func(b *testing.B) {
+				if testing.Short() && n > 10000 {
+					b.Skip("n=100000 runs take seconds; skipped under -short")
+				}
+				g := sample(b, n, 18, 0).Graph()
+				mw := broadcast.NewMACWorkspace()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res := mw.Run(g, 0, pr.p, opt)
+					if res.ReceivedCount() < 2 {
+						b.Fatal("broadcast did not spread")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDESWire compares the construction wire protocol's scalar
+// round-scan simulator (per-node maps, full-n scans every round) against
+// the worklist port at the same scale points.
+func BenchmarkDESWire(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		for _, eng := range []string{"scalar", "des"} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, eng), func(b *testing.B) {
+				if testing.Short() && n > 10000 {
+					b.Skip("n=100000 runs take seconds; skipped under -short")
+				}
+				g := sample(b, n, 18, 0).Graph()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var out *sim.Outcome
+					if eng == "des" {
+						out = sim.RunDES(g, coverage.Hop25)
+					} else {
+						out = sim.Run(g, coverage.Hop25)
+					}
+					if len(out.Heads) == 0 {
+						b.Fatal("no clusterheads elected")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDESTimed compares the delayed-decision engine (binary heap)
+// against its calendar port (timestamp wheel + epoch-stamped state).
+func BenchmarkDESTimed(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		for _, eng := range []string{"scalar", "des"} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, eng), func(b *testing.B) {
+				if testing.Short() && n > 10000 {
+					b.Skip("n=100000 runs take seconds; skipped under -short")
+				}
+				g := sample(b, n, 18, 0).Graph()
+				p := broadcast.CounterBased{Threshold: 3, MaxDelay: 8, Seed: 7}
+				tw := broadcast.NewTimedWorkspace()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var res *broadcast.Result
+					if eng == "des" {
+						res = tw.Run(g, 0, p, broadcast.TimedOptions{})
+					} else {
+						res = broadcast.RunTimed(g, 0, p)
+					}
+					if len(res.Received) < 2 {
+						b.Fatal("broadcast did not spread")
+					}
+				}
+			})
+		}
+	}
+}

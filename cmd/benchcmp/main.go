@@ -131,9 +131,10 @@ func compare(w io.Writer, baseline []baselineEntry, got map[string]measurement, 
 
 // scaleName matches the scaling benchmarks' "Benchmark<Family>/n=<N>/<stage>"
 // naming, capturing family, network size, and stage. The families are the
-// PR1–PR3 Scale* kernels and the PR6 bit-parallel replication curve
-// (BenchmarkReplicateBatch), which shares the /n=<N>/<variant> shape.
-var scaleName = regexp.MustCompile(`^Benchmark(Scale\w+|ReplicateBatch\w*)/n=(\d+)/(.+)$`)
+// PR1–PR3 Scale* kernels, the PR6 bit-parallel replication curve
+// (BenchmarkReplicateBatch), and the PR7 event-calendar engines
+// (BenchmarkDESMAC/DESWire/DESTimed) — all share the /n=<N>/<variant> shape.
+var scaleName = regexp.MustCompile(`^Benchmark(Scale\w+|ReplicateBatch\w*|DES\w*)/n=(\d+)/(.+)$`)
 
 // scaleCurves prints, for every Scale* benchmark family and stage seen in
 // the baseline or the current run, the ns/op scaling curve by network size

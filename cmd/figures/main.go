@@ -40,6 +40,7 @@ type config struct {
 	outDir   string
 	workers  int
 	batch    bool
+	des      bool
 	cpuProf  string
 	memProf  string
 	manifest string
@@ -140,6 +141,7 @@ func run(cfg config, stdout, stderr io.Writer) error {
 	}
 	experiment.SetParallelism(cfg.workers)
 	experiment.SetBatchReplication(cfg.batch)
+	experiment.SetDES(cfg.des)
 	rule := stats.PaperRule()
 	if cfg.quick {
 		rule = stats.StopRule{Confidence: 0.95, RelHalfWidth: 0.15, MinReplicates: 10, MaxReplicates: 40}
@@ -243,6 +245,9 @@ func main() {
 		"advance 64 replicates per machine word where the protocol and fault model allow it "+
 			"(loss/gossip sweeps); a different Monte-Carlo sample than the scalar default, "+
 			"still bit-identical across -workers values")
+	flag.BoolVar(&cfg.des, "des", false,
+		"run the event-driven calendar engines (pending-event wheel) instead of the scalar "+
+			"round loops; output is bit-identical, only faster on large sparse regimes")
 	flag.StringVar(&cfg.cpuProf, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&cfg.memProf, "memprofile", "", "write a heap profile to this file after the run")
 	flag.StringVar(&cfg.manifest, "manifest", "",

@@ -25,6 +25,7 @@ import (
 	"clustercast/internal/coverage"
 	"clustercast/internal/faults"
 	"clustercast/internal/fwdtree"
+	"clustercast/internal/graph"
 	"clustercast/internal/marking"
 	"clustercast/internal/obs"
 	"clustercast/internal/passive"
@@ -43,12 +44,38 @@ type config struct {
 	protocols string
 	faults    string
 	wire      bool
+	des       bool
 	load      string
 	workers   int
 	cpuProf   string
 	memProf   string
 	trace     string
 	manifest  string
+}
+
+// desEngine mirrors the -des flag: route the rows through the calendar
+// engines (bit-identical output, faster slot handling on sparse regimes).
+var desEngine bool
+
+func runEngine(g *graph.Graph, src int, p broadcast.Protocol, opt broadcast.Options) *broadcast.Result {
+	if desEngine {
+		return broadcast.RunDESOpts(g, src, p, opt)
+	}
+	return broadcast.RunOpts(g, src, p, opt)
+}
+
+func runTimedEngine(g *graph.Graph, src int, p broadcast.TimedProtocol, opt broadcast.TimedOptions) *broadcast.Result {
+	if desEngine {
+		return broadcast.RunTimedDES(g, src, p, opt)
+	}
+	return broadcast.RunTimedOpts(g, src, p, opt)
+}
+
+func runWire(g *graph.Graph, mode core.Mode) *sim.Outcome {
+	if desEngine {
+		return sim.RunDES(g, mode)
+	}
+	return sim.Run(g, mode)
 }
 
 // protocolRun is one row of the comparison table.
@@ -69,33 +96,33 @@ func buildRuns(nw *core.Network, src int, seed uint64, tr *obs.Tracer, fo *fault
 	topt := broadcast.TimedOptions{Tracer: tr, Faults: fo}
 	static := func(mode core.Mode) (*broadcast.Result, error) {
 		s := nw.StaticBackbone(mode)
-		return ok(broadcast.RunOpts(g, src, broadcast.StaticCDS{Set: s.Nodes, Label: "static-" + s.Mode.String()}, opt))
+		return ok(runEngine(g, src, broadcast.StaticCDS{Set: s.Nodes, Label: "static-" + s.Mode.String()}, opt))
 	}
 	dynamic := func(mode core.Mode) (*broadcast.Result, error) {
 		p := nw.DynamicProtocol(mode)
 		p.SetTracer(tr)
 		// Run through the engine options directly so the fault oracle (and
 		// tracer) reach the engine; p.Broadcast would drop the oracle.
-		return ok(broadcast.RunOpts(g, src, p, opt))
+		return ok(runEngine(g, src, p, opt))
 	}
 	return []protocolRun{
-		{"flooding", func() (*broadcast.Result, error) { return ok(broadcast.RunOpts(g, src, broadcast.Flooding{}, opt)) }},
+		{"flooding", func() (*broadcast.Result, error) { return ok(runEngine(g, src, broadcast.Flooding{}, opt)) }},
 		{"gossip", func() (*broadcast.Result, error) {
-			return ok(broadcast.RunOpts(g, src, broadcast.Gossip{P: 0.7, Seed: seed}, opt))
+			return ok(runEngine(g, src, broadcast.Gossip{P: 0.7, Seed: seed}, opt))
 		}},
-		{"mpr", func() (*broadcast.Result, error) { return ok(broadcast.RunOpts(g, src, broadcast.NewMPR(nb), opt)) }},
-		{"dp", func() (*broadcast.Result, error) { return ok(broadcast.RunOpts(g, src, broadcast.NewDP(nb), opt)) }},
-		{"pdp", func() (*broadcast.Result, error) { return ok(broadcast.RunOpts(g, src, broadcast.NewPDP(nb), opt)) }},
+		{"mpr", func() (*broadcast.Result, error) { return ok(runEngine(g, src, broadcast.NewMPR(nb), opt)) }},
+		{"dp", func() (*broadcast.Result, error) { return ok(runEngine(g, src, broadcast.NewDP(nb), opt)) }},
+		{"pdp", func() (*broadcast.Result, error) { return ok(runEngine(g, src, broadcast.NewPDP(nb), opt)) }},
 		{"static-2.5", func() (*broadcast.Result, error) { return static(core.Hop25) }},
 		{"static-3", func() (*broadcast.Result, error) { return static(core.Hop3) }},
 		{"dynamic-2.5", func() (*broadcast.Result, error) { return dynamic(core.Hop25) }},
 		{"dynamic-3", func() (*broadcast.Result, error) { return dynamic(core.Hop3) }},
 		{"mo-cds", func() (*broadcast.Result, error) {
 			c := nw.MOCDS()
-			return ok(broadcast.RunOpts(g, src, broadcast.StaticCDS{Set: c.Nodes, Label: "mo-cds"}, opt))
+			return ok(runEngine(g, src, broadcast.StaticCDS{Set: c.Nodes, Label: "mo-cds"}, opt))
 		}},
 		{"marking", func() (*broadcast.Result, error) {
-			return ok(broadcast.RunOpts(g, src, broadcast.StaticCDS{Set: marking.Build(g), Label: "marking"}, opt))
+			return ok(runEngine(g, src, broadcast.StaticCDS{Set: marking.Build(g), Label: "marking"}, opt))
 		}},
 		{"fwd-tree", func() (*broadcast.Result, error) {
 			b := coverage.NewBuilder(g, nw.Clustering, coverage.Hop25)
@@ -103,7 +130,7 @@ func buildRuns(nw *core.Network, src int, seed uint64, tr *obs.Tracer, fo *fault
 			if err != nil {
 				return nil, err
 			}
-			return ok(broadcast.RunOpts(g, src, broadcast.StaticCDS{Set: tree.Nodes, Label: "fwd-tree"}, opt))
+			return ok(runEngine(g, src, broadcast.StaticCDS{Set: tree.Nodes, Label: "fwd-tree"}, opt))
 		}},
 		{"passive", func() (*broadcast.Result, error) {
 			if tr != nil {
@@ -113,13 +140,13 @@ func buildRuns(nw *core.Network, src int, seed uint64, tr *obs.Tracer, fo *fault
 			return ok(series[len(series)-1])
 		}},
 		{"sba", func() (*broadcast.Result, error) {
-			return ok(broadcast.RunTimedOpts(g, src, broadcast.NewSBA(nb, 4, seed), topt))
+			return ok(runTimedEngine(g, src, broadcast.NewSBA(nb, 4, seed), topt))
 		}},
 		{"counter-3", func() (*broadcast.Result, error) {
-			return ok(broadcast.RunTimedOpts(g, src, broadcast.CounterBased{Threshold: 3, MaxDelay: 4, Seed: seed}, topt))
+			return ok(runTimedEngine(g, src, broadcast.CounterBased{Threshold: 3, MaxDelay: 4, Seed: seed}, topt))
 		}},
 		{"distance", func() (*broadcast.Result, error) {
-			return ok(broadcast.RunTimedOpts(g, src, broadcast.DistanceBased{
+			return ok(runTimedEngine(g, src, broadcast.DistanceBased{
 				Positions: nw.Topology.Positions, MinDistance: nw.Topology.Radius * 0.4,
 				MaxDelay: 4, Seed: seed,
 			}, topt))
@@ -161,6 +188,8 @@ func run(cfg config, stdout io.Writer) error {
 			Param("protocols", cfg.protocols).Param("load", cfg.load).Param("wire", cfg.wire).
 			Param("faults", cfg.faults)
 	}
+
+	desEngine = cfg.des
 
 	nw, err := loadNetwork(&cfg)
 	if err != nil {
@@ -271,7 +300,7 @@ func run(cfg config, stdout io.Writer) error {
 	}
 
 	if cfg.wire {
-		out := sim.Run(nw.Graph(), core.Hop25)
+		out := runWire(nw.Graph(), core.Hop25)
 		fmt.Fprintf(stdout, "\nwire protocol (2.5-hop): %s\n", out.Counters.String())
 		fmt.Fprintf(stdout, "distributed backbone size: %d\n", len(out.Backbone))
 	}
@@ -297,6 +326,8 @@ func main() {
 		"fault schedule, e.g. 'mtbf=200,mttr=50,burst=0.2:8,part=10:40:x:50' (see internal/faults); applies to every engine-run protocol and prints a backbone-repair report")
 	flag.BoolVar(&cfg.wire, "wire", false, "also run the distributed wire-protocol construction and print message counts")
 	flag.StringVar(&cfg.load, "load", "", "load a topology snapshot (JSON, from topogen -save) instead of generating one")
+	flag.BoolVar(&cfg.des, "des", false,
+		"run the event-driven calendar engines instead of the scalar round loops (bit-identical output)")
 	flag.IntVar(&cfg.workers, "workers", 0,
 		"cap the Go scheduler's processor count (0: leave GOMAXPROCS at the default); single runs are sequential either way")
 	flag.StringVar(&cfg.cpuProf, "cpuprofile", "", "write a CPU profile to this file")

@@ -102,3 +102,27 @@ func TestRunLoadMissingFile(t *testing.T) {
 		t.Fatal("missing snapshot must error")
 	}
 }
+
+// TestRunDESByteIdentical: the -des engines must reproduce the scalar
+// comparison table byte for byte — every protocol row, the wire-protocol
+// section, and a churn fault schedule included.
+func TestRunDESByteIdentical(t *testing.T) {
+	cfgs := []config{
+		{n: 40, d: 10, seed: 3, source: -1, protocols: "all", wire: true},
+		{n: 30, d: 8, seed: 5, source: 0, protocols: "all", faults: "mtbf=60,mttr=20"},
+	}
+	for i, cfg := range cfgs {
+		var scalar, des bytes.Buffer
+		if err := run(cfg, &scalar); err != nil {
+			t.Fatal(err)
+		}
+		cfg.des = true
+		if err := run(cfg, &des); err != nil {
+			t.Fatal(err)
+		}
+		if scalar.String() != des.String() {
+			t.Errorf("cfg %d: -des output differs from scalar:\n--- scalar ---\n%s\n--- des ---\n%s",
+				i, scalar.String(), des.String())
+		}
+	}
+}

@@ -52,6 +52,7 @@ type config struct {
 	memProf  string
 	manifest string
 	trace    string
+	des      bool
 }
 
 func main() {
@@ -62,6 +63,8 @@ func main() {
 	flag.IntVar(&cfg.reps, "reps", 3, "replicates per stage")
 	flag.IntVar(&cfg.workers, "workers", 1, "selection shards for static25/mocds (1 = sequential)")
 	flag.StringVar(&cfg.stages, "stages", "static25,mocds,dynamic25", "comma-separated stages to run")
+	flag.BoolVar(&cfg.des, "des", false,
+		"run dynamic25 broadcasts on the event-calendar engine (bit-identical results)")
 	flag.StringVar(&cfg.cpuProf, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&cfg.memProf, "memprofile", "", "write a heap profile to this file")
 	flag.StringVar(&cfg.manifest, "manifest", "", "write a run manifest (JSON) to this file")
@@ -80,7 +83,7 @@ func main() {
 // without trace support ignore it.
 type stageFunc func(ws *experiment.Workspace, nw *topology.Network, source int, tr *obs.Tracer) float64
 
-func stageSet(workers int) map[string]stageFunc {
+func stageSet(workers int, des bool) map[string]stageFunc {
 	pbb := backbone.NewParallelWorkspace()
 	pmo := mocds.NewParallelWorkspace()
 	return map[string]stageFunc{
@@ -106,6 +109,7 @@ func stageSet(workers int) map[string]stageFunc {
 			// Set unconditionally: the pooled protocol keeps its tracer
 			// across NewWith, so untraced replicates must clear it.
 			p.SetTracer(tr)
+			p.SetDES(des)
 			return float64(p.BroadcastWS(source).ForwardCount())
 		},
 	}
@@ -115,7 +119,7 @@ func stageSet(workers int) map[string]stageFunc {
 const tracedStage = "dynamic25"
 
 func run(cfg config, out io.Writer) error {
-	stages := stageSet(cfg.workers)
+	stages := stageSet(cfg.workers, cfg.des)
 	var names []string
 	for _, s := range strings.Split(cfg.stages, ",") {
 		s = strings.TrimSpace(s)

@@ -39,6 +39,11 @@ type MACOptions struct {
 	// not take part in collision resolution either (fading happens before
 	// decoding).
 	Faults faults.Model
+	// Workers enables the sharded receiver fan-out of the calendar engine
+	// (MACWorkspace.Run) when > 1. The scalar engine ignores it, and the
+	// calendar engine's results are bit-identical for any value — it only
+	// trades wall-clock for cores on large slot batches.
+	Workers int
 }
 
 // CollisionResult extends Result with MAC-level accounting.
@@ -88,25 +93,64 @@ func RunMAC(g *graph.Graph, source int, p Protocol, opt MACOptions) *CollisionRe
 		trigger int // upstream sender that caused this relay (-1: source)
 		pkt     Packet
 	}
-	// slots[t] holds the transmissions scheduled for slot t.
+	// slots[t] holds the transmissions scheduled for slot t. occ is a
+	// min-heap of the occupied slot numbers, pushed once when a slot gains
+	// its first transmission, so the loop jumps between occupied slots
+	// instead of scanning every empty slot of the jitter window — with a
+	// large Jitter and a thinned forwarder set (gossip tails, faults) most
+	// slots are empty and the scan is pure waste. All pushes land strictly
+	// after the slot being drained, so the popped sequence is exactly the
+	// ascending occupied subsequence the scalar scan visited.
 	slots := map[int][]tx{}
+	var occ []int
+	schedule := func(slot int, x tx) {
+		if len(slots[slot]) == 0 {
+			occ = append(occ, slot)
+			for i := len(occ) - 1; i > 0; { // sift up
+				p := (i - 1) / 2
+				if occ[p] <= occ[i] {
+					break
+				}
+				occ[p], occ[i] = occ[i], occ[p]
+				i = p
+			}
+		}
+		slots[slot] = append(slots[slot], x)
+	}
+	popSlot := func() int {
+		t := occ[0]
+		last := len(occ) - 1
+		occ[0] = occ[last]
+		occ = occ[:last]
+		for i := 0; ; { // sift down
+			c := 2*i + 1
+			if c >= last {
+				break
+			}
+			if c+1 < last && occ[c+1] < occ[c] {
+				c++
+			}
+			if occ[i] <= occ[c] {
+				break
+			}
+			occ[i], occ[c] = occ[c], occ[i]
+			i = c
+		}
+		return t
+	}
 	tr := opt.Tracer
 	if tr != nil {
 		tr.SetTime(0)
 	}
 	start := p.Start(source)
 	mark(source, start)
-	slots[0] = append(slots[0], tx{source, -1, start})
-	pending := 1
+	schedule(0, tx{source, -1, start})
 	transmissions := 0
 
 	fo := opt.Faults
-	for t := 0; pending > 0; t++ {
+	for len(occ) > 0 {
+		t := popSlot()
 		batch := slots[t]
-		if len(batch) == 0 {
-			continue
-		}
-		pending -= len(batch)
 		delete(slots, t)
 		if fo != nil {
 			// Crashed forwarders stay silent; their slot reservation lapses.
@@ -180,9 +224,7 @@ func RunMAC(g *graph.Graph, source int, p Protocol, opt MACOptions) *CollisionRe
 				res.Forwarders[v] = true
 				mark(v, x.pkt)
 				mark(v, out)
-				slot := t + 1 + draw()
-				slots[slot] = append(slots[slot], tx{v, x.sender, out})
-				pending++
+				schedule(t+1+draw(), tx{v, x.sender, out})
 			}
 		}
 	}

@@ -1,0 +1,146 @@
+package broadcast
+
+import (
+	"clustercast/internal/graph"
+	"clustercast/internal/rng"
+)
+
+// This file ports the ideal-radio engine onto the internal/des calendar.
+// The scalar RunOpts FIFO is already event-driven — its queue times are
+// nondecreasing, so FIFO order equals (time, push order) — which makes
+// the wheel drain a drop-in replacement: identical protocol callbacks,
+// randomness consumption, trace stream and counters, proven by the
+// equivalence tests. The scalar engine stays the golden reference.
+
+// RunDES simulates one broadcast on the event calendar with the ideal
+// radio model, reusing the workspace. Bit-identical to Run.
+func (ws *Workspace) RunDES(g *graph.Graph, source int, p Protocol) *WSResult {
+	return ws.RunDESOpts(g, source, p, Options{})
+}
+
+// RunDESOpts is RunDES with an explicit radio model. Event order,
+// protocol callbacks and randomness consumption are identical to
+// RunOpts, so results are bit-identical.
+func (ws *Workspace) RunDESOpts(g *graph.Graph, source int, p Protocol, opt Options) *WSResult {
+	n := g.N()
+	ws.ensure(n)
+	ws.epoch++
+	if ws.epoch == 0 { // wrapped: flush stale stamps over the full capacity
+		for _, s := range [][]uint32{ws.received[:cap(ws.received)], ws.forwarded[:cap(ws.forwarded)], ws.actedAt[:cap(ws.actedAt)]} {
+			for i := range s {
+				s[i] = 0
+			}
+		}
+		ws.epoch = 1
+	}
+	epoch := ws.epoch
+	res := &ws.res
+	*res = WSResult{Source: source, ws: ws}
+	ws.received[source] = epoch
+	ws.forwarded[source] = epoch
+	res.nReceived, res.nForward = 1, 1
+	var loss *rng.Stream
+	if opt.Loss > 0 {
+		loss = rng.NewLabeled(opt.Seed, "radio-loss")
+	}
+	fo := opt.Faults
+	faultSkips, faultDrops := 0, 0
+	tr := opt.Tracer
+	if tr != nil {
+		tr.SetTime(0)
+	}
+	start := p.Start(source)
+	if tr != nil {
+		tr.Send(0, source, -1)
+	}
+	ws.markActed(source, start)
+	w := &ws.wheel
+	w.Reset(2) // every push is at slot t+1
+	w.Push(0, transmission{sender: source, pkt: start, time: 0})
+	pushed := 1
+	for w.Len() > 0 {
+		t := w.OpenSlot()
+		for i := 0; i < w.SlotLen(); i++ {
+			tx := w.Event(i)
+			if fo != nil && !fo.NodeUp(tx.sender, t) {
+				faultSkips++
+				continue // the sender crashed before its slot came up
+			}
+			if tr != nil {
+				tr.SetTime(t + 1)
+			}
+			for _, v := range g.Neighbors(tx.sender) {
+				if loss != nil && loss.Bool(opt.Loss) {
+					continue // this copy was lost on the air
+				}
+				if fo != nil && (!fo.NodeUp(v, t+1) || !fo.LinkUp(tx.sender, v, t+1) ||
+					fo.CopyLost(tx.sender, v, t+1)) {
+					faultDrops++
+					continue // receiver down, partitioned away, or a loss burst
+				}
+				var forward bool
+				var out Packet
+				if ws.received[v] != epoch {
+					ws.received[v] = epoch
+					res.nReceived++
+					ws.parent[v] = tx.sender
+					if t+1 > res.Latency {
+						res.Latency = t + 1
+					}
+					if tr != nil {
+						tr.Deliver(t+1, v, tx.sender)
+					}
+					forward, out = p.OnReceive(v, tx.sender, tx.pkt)
+				} else {
+					res.Duplicates++
+					if tr != nil {
+						tr.Duplicate(t+1, v, tx.sender)
+					}
+					if ws.actedOn(v, tx.pkt) {
+						continue
+					}
+					forward, out = p.OnDuplicate(v, tx.sender, tx.pkt)
+				}
+				if forward {
+					if ws.forwarded[v] != epoch {
+						ws.forwarded[v] = epoch
+						res.nForward++
+					}
+					ws.markActed(v, tx.pkt)
+					ws.markActed(v, out)
+					if tr != nil {
+						tr.Send(t+1, v, tx.sender)
+					}
+					w.Push(t+1, transmission{sender: v, pkt: out, time: t + 1})
+					pushed++
+				}
+			}
+		}
+		w.CloseSlot()
+	}
+	w.FoldStats()
+	mRuns.Inc()
+	mTransmissions.Add(int64(pushed - faultSkips))
+	mDeliveries.Add(int64(res.nReceived - 1))
+	mDuplicates.Add(int64(res.Duplicates))
+	if fo != nil {
+		mFaultSkips.Add(int64(faultSkips))
+		mFaultDrops.Add(int64(faultDrops))
+	}
+	return res
+}
+
+// RunDESOpts is the package-level calendar engine: a drop-in for the
+// map-based RunOpts, used by the -des figure paths. It allocates a
+// private workspace per call; the replicate-heavy paths hold a
+// Workspace and call its RunDESOpts instead.
+func RunDESOpts(g *graph.Graph, source int, p Protocol, opt Options) *Result {
+	var ws Workspace
+	return ws.RunDESOpts(g, source, p, opt).Materialize()
+}
+
+// RunDESIdeal is RunDESOpts with the ideal radio model (the calendar
+// drop-in for Run).
+func RunDESIdeal(g *graph.Graph, source int, p Protocol) *Result {
+	return RunDESOpts(g, source, p, Options{})
+}

@@ -1,0 +1,290 @@
+package broadcast
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"clustercast/internal/faults"
+	"clustercast/internal/obs"
+	"clustercast/internal/rng"
+)
+
+// Equivalence gates for the internal/des calendar ports: the scalar
+// engines are the golden reference, and every port must replay them
+// bit-identically — results, protocol callbacks (observed through the
+// results), randomness consumption, and the typed trace stream
+// (compared as JSONL bytes).
+
+// traceBytes drains a tracer to its canonical JSONL form.
+func traceBytes(t *testing.T, tr *obs.Tracer) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// burstOracle builds a deterministic fault oracle with churn, bursty
+// loss, and a partition window — every fault axis at once.
+func burstOracle(t *testing.T, n int, seed uint64) *faults.Oracle {
+	t.Helper()
+	spec := faults.Spec{MeanUp: 40, MeanDown: 12, Seed: seed}
+	if err := spec.SetBurst(0.15, 3); err != nil {
+		t.Fatal(err)
+	}
+	spec.MeanUp, spec.MeanDown = 40, 12
+	return faults.New(spec, n)
+}
+
+func TestDESIdealEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  func(n int) Options
+	}{
+		{"ideal", func(int) Options { return Options{} }},
+		{"lossy", func(int) Options { return Options{Loss: 0.25, Seed: 99} }},
+		{"faults", func(n int) Options { return Options{Faults: burstOracle(t, n, 7)} }},
+		{"lossy-faults", func(n int) Options { return Options{Loss: 0.1, Seed: 3, Faults: burstOracle(t, n, 8)} }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for trial := 0; trial < 6; trial++ {
+				nw := randomNet(t, 100+uint64(trial), 40+10*trial, 8)
+				n := nw.G.N()
+				ps := []Protocol{
+					Flooding{},
+					Gossip{P: 0.7, Seed: 11},
+					StaticCDS{Set: map[int]bool{0: true, 1: true, 2: true, 5: true, 7: true}, Label: "cds"},
+					NewDP(NewNeighborhood(nw.G)),
+				}
+				for _, p := range ps {
+					source := trial % n
+					trA, trB := obs.NewTracer(1<<14), obs.NewTracer(1<<14)
+					optA, optB := tc.opt(n), tc.opt(n)
+					optA.Tracer, optB.Tracer = trA, trB
+					// Fresh oracles per engine: the oracle's per-link query
+					// cursors are part of the replayed sequence.
+					if optA.Faults != nil {
+						optA.Faults = burstOracle(t, n, uint64(7+trial))
+						optB.Faults = burstOracle(t, n, uint64(7+trial))
+					}
+					wsA, wsB := NewWorkspace(), NewWorkspace()
+					a := wsA.RunOpts(nw.G, source, p, optA).Materialize()
+					b := wsB.RunDESOpts(nw.G, source, p, optB).Materialize()
+					if !reflect.DeepEqual(a, b) {
+						t.Fatalf("trial %d %s: scalar and DES results differ:\n%+v\n%+v", trial, p.Name(), a, b)
+					}
+					if !bytes.Equal(traceBytes(t, trA), traceBytes(t, trB)) {
+						t.Fatalf("trial %d %s: trace streams differ", trial, p.Name())
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDESIdealMatchesLegacyRun(t *testing.T) {
+	nw := randomNet(t, 5, 60, 9)
+	a := Run(nw.G, 3, Flooding{})
+	b := RunDESIdeal(nw.G, 3, Flooding{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("package-level RunDESIdeal differs from Run:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestDESTimedEquivalence(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		nw := randomNet(t, 200+uint64(trial), 40+10*trial, 8)
+		n := nw.G.N()
+		nb := NewNeighborhood(nw.G)
+		ps := []TimedProtocol{
+			NewSBA(nb, 6, 17),
+			CounterBased{Threshold: 3, MaxDelay: 5, Seed: 23},
+			DistanceBased{Positions: nw.Positions, MinDistance: 20, MaxDelay: 4, Seed: 29},
+		}
+		for _, withFaults := range []bool{false, true} {
+			for _, p := range ps {
+				source := (trial * 3) % n
+				trA, trB := obs.NewTracer(1<<14), obs.NewTracer(1<<14)
+				optA, optB := TimedOptions{Tracer: trA}, TimedOptions{Tracer: trB}
+				if withFaults {
+					optA.Faults = burstOracle(t, n, uint64(40+trial))
+					optB.Faults = burstOracle(t, n, uint64(40+trial))
+				}
+				a := RunTimedOpts(nw.G, source, p, optA)
+				tw := NewTimedWorkspace()
+				b := tw.Run(nw.G, source, p, optB)
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("trial %d %s faults=%v: scalar and DES results differ:\n%+v\n%+v",
+						trial, p.Name(), withFaults, a, b)
+				}
+				if !bytes.Equal(traceBytes(t, trA), traceBytes(t, trB)) {
+					t.Fatalf("trial %d %s faults=%v: trace streams differ", trial, p.Name(), withFaults)
+				}
+			}
+		}
+	}
+}
+
+func TestDESMACEquivalence(t *testing.T) {
+	defer func(old int) { desMACParallelMin = old }(desMACParallelMin)
+	desMACParallelMin = 1 // force the sharded path even on small slot batches
+	for trial := 0; trial < 5; trial++ {
+		nw := randomNet(t, 300+uint64(trial), 40+12*trial, 9)
+		n := nw.G.N()
+		ps := []Protocol{
+			Flooding{},
+			Gossip{P: 0.8, Seed: 31},
+			StaticCDS{Set: map[int]bool{0: true, 2: true, 4: true, 6: true, 9: true}, Label: "cds"},
+		}
+		for _, jit := range []int{0, 3, 8} {
+			for _, withFaults := range []bool{false, true} {
+				for _, p := range ps {
+					source := (trial * 5) % n
+					trA := obs.NewTracer(1 << 14)
+					optA := MACOptions{Jitter: jit, Seed: uint64(60 + trial), Tracer: trA}
+					if withFaults {
+						optA.Faults = burstOracle(t, n, uint64(70+trial))
+					}
+					a := RunMAC(nw.G, source, p, optA)
+					workerSet := []int{0, 2, 5, 8}
+					if withFaults {
+						workerSet = []int{0} // oracle query order pins the sequential path
+					}
+					for _, workers := range workerSet {
+						trB := obs.NewTracer(1 << 14)
+						optB := optA
+						optB.Tracer, optB.Workers = trB, workers
+						if withFaults {
+							optB.Faults = burstOracle(t, n, uint64(70+trial))
+						}
+						mw := NewMACWorkspace()
+						b := mw.Run(nw.G, source, p, optB).Materialize()
+						if !reflect.DeepEqual(&a.Result, &b.Result) ||
+							a.Collisions != b.Collisions || a.LostCopies != b.LostCopies {
+							t.Fatalf("trial %d %s jit=%d faults=%v workers=%d: scalar and DES differ:\n%+v\n%+v",
+								trial, p.Name(), jit, withFaults, workers, a, b)
+						}
+						if !bytes.Equal(traceBytes(t, trA), traceBytes(t, trB)) {
+							t.Fatalf("trial %d %s jit=%d faults=%v workers=%d: trace streams differ",
+								trial, p.Name(), jit, withFaults, workers)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDESMACScheduleProperty is the randomized slot-schedule property
+// gate: across random topologies, sources, seeds and contention
+// windows, the calendar port reproduces the scalar collision table's
+// (slot, sender, trigger) schedule exactly — including slots assigned
+// through the `slot := t + 1 + draw()` backoff path (Jitter > 0 makes
+// every forward take it).
+func TestDESMACScheduleProperty(t *testing.T) {
+	schedule := func(tr *obs.Tracer) [][3]int {
+		var out [][3]int
+		for _, ev := range tr.Events() {
+			if ev.Kind == obs.EvSend {
+				out = append(out, [3]int{ev.T, ev.Node, ev.Peer})
+			}
+		}
+		return out
+	}
+	r := rng.New(0xDE5)
+	for trial := 0; trial < 40; trial++ {
+		n := 20 + r.Intn(60)
+		nw := randomNet(t, 500+uint64(trial), n, 6+float64(r.Intn(5)))
+		n = nw.G.N()
+		opt := MACOptions{
+			Jitter: 1 + r.Intn(9), // always > 0: every relay goes through the backoff draw
+			Seed:   r.Uint64(),
+		}
+		source := r.Intn(n)
+		p := Gossip{P: 0.9, Seed: r.Uint64()}
+		trA := obs.NewTracer(1 << 14)
+		optA := opt
+		optA.Tracer = trA
+		RunMAC(nw.G, source, p, optA)
+		trB := obs.NewTracer(1 << 14)
+		optB := opt
+		optB.Tracer = trB
+		NewMACWorkspace().Run(nw.G, source, p, optB)
+		a, b := schedule(trA), schedule(trB)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d (n=%d jitter=%d): (slot, sender, trigger) schedules diverge:\nscalar %v\ndes    %v",
+				trial, n, opt.Jitter, a, b)
+		}
+		if len(a) == 0 {
+			t.Fatalf("trial %d: empty schedule — property exercised nothing", trial)
+		}
+	}
+}
+
+// FuzzDESMACAgree cross-checks the scalar and calendar MAC engines on
+// fuzzer-chosen (size, degree, jitter, seed, gossip) points.
+func FuzzDESMACAgree(f *testing.F) {
+	f.Add(uint64(1), 40, 8, 3, uint64(9), float64(0.8))
+	f.Add(uint64(7), 25, 6, 0, uint64(2), float64(1.0))
+	f.Add(uint64(42), 60, 10, 12, uint64(77), float64(0.5))
+	f.Fuzz(func(t *testing.T, topoSeed uint64, n, deg, jitter int, seed uint64, gp float64) {
+		if n < 5 || n > 120 || deg < 3 || deg > 14 || jitter < 0 || jitter > 20 || gp < 0 || gp > 1 {
+			t.Skip()
+		}
+		nw := randomNet(t, topoSeed, n, float64(deg))
+		n = nw.G.N()
+		p := Gossip{P: gp, Seed: seed + 1}
+		opt := MACOptions{Jitter: jitter, Seed: seed}
+		a := RunMAC(nw.G, 0, p, opt)
+		b := NewMACWorkspace().Run(nw.G, 0, p, opt).Materialize()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("scalar and DES MAC runs differ:\n%+v\n%+v", a, b)
+		}
+	})
+}
+
+// FuzzDESIdealAgree cross-checks the scalar and calendar ideal engines
+// under fuzzer-chosen loss.
+func FuzzDESIdealAgree(f *testing.F) {
+	f.Add(uint64(1), 40, 8, float64(0.2), uint64(5))
+	f.Add(uint64(3), 70, 6, float64(0.0), uint64(1))
+	f.Fuzz(func(t *testing.T, topoSeed uint64, n, deg int, loss float64, seed uint64) {
+		if n < 5 || n > 120 || deg < 3 || deg > 14 || loss < 0 || loss > 0.9 {
+			t.Skip()
+		}
+		nw := randomNet(t, topoSeed, n, float64(deg))
+		opt := Options{Loss: loss, Seed: seed}
+		a := NewWorkspace().RunOpts(nw.G, 0, Flooding{}, opt).Materialize()
+		b := NewWorkspace().RunDESOpts(nw.G, 0, Flooding{}, opt).Materialize()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("scalar and DES ideal runs differ:\n%+v\n%+v", a, b)
+		}
+	})
+}
+
+// TestDESIdealSteadyStateAllocs pins the zero-allocation contract of
+// the calendar event loop (ideal engine, alloc-free protocol).
+func TestDESIdealSteadyStateAllocs(t *testing.T) {
+	nw := randomNet(t, 9, 80, 8)
+	ws := NewWorkspace()
+	run := func() { ws.RunDESOpts(nw.G, 0, Flooding{}, Options{}) }
+	run()
+	if avg := testing.AllocsPerRun(20, run); avg != 0 {
+		t.Fatalf("DES ideal event loop allocates %.1f/run, want 0", avg)
+	}
+}
+
+// TestDESMACSteadyStateAllocs pins the same contract for the MAC
+// engine's sequential path (the dense result is not materialized).
+func TestDESMACSteadyStateAllocs(t *testing.T) {
+	nw := randomNet(t, 10, 80, 8)
+	mw := NewMACWorkspace()
+	opt := MACOptions{Jitter: 6, Seed: 4}
+	run := func() { mw.Run(nw.G, 0, Flooding{}, opt) }
+	run()
+	if avg := testing.AllocsPerRun(20, run); avg != 0 {
+		t.Fatalf("DES MAC event loop allocates %.1f/run, want 0", avg)
+	}
+}

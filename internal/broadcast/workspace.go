@@ -1,6 +1,7 @@
 package broadcast
 
 import (
+	"clustercast/internal/des"
 	"clustercast/internal/graph"
 	"clustercast/internal/rng"
 )
@@ -23,6 +24,7 @@ type Workspace struct {
 	parent    []int    // first-delivery sender, valid when received
 	acted     [][]Packet
 	queue     []transmission
+	wheel     des.Wheel[transmission] // RunDESOpts event calendar
 	res       WSResult
 }
 

@@ -1,0 +1,42 @@
+// Package des is the sharded pending-event calendar underneath the
+// event-driven simulation cores: a bucketed timestamp wheel (Wheel) for
+// O(1) enqueue/dequeue on slot-quantized workloads, and deterministic
+// cross-shard delivery (Shards) for the fan-out phases that are safe to
+// parallelize.
+//
+// The design goals, in order:
+//
+//  1. Bit-identical replay of the scalar reference engines. The wheel
+//     dequeues events in (slot, push order), exactly the (time, seq)
+//     order of the reference heap in broadcast.RunTimed and the FIFO
+//     order of broadcast.Run; the shard exchange concatenates mailboxes
+//     in a fixed shard order so results do not depend on the worker
+//     count.
+//  2. Zero steady-state allocations. Buckets, mailboxes, and scratch are
+//     pooled and reused across runs (epoch-stamped or length-reset, in
+//     the style of the coverage/backbone scratch); the event loop itself
+//     — Push, OpenSlot, Bucket, CloseSlot — allocates only when a pooled
+//     slice grows past its high-water mark.
+//  3. O(occupied slots) control overhead, not O(horizon). Idle slots are
+//     skipped with an occupancy bitmap (word-parallel scan), and events
+//     beyond the wheel's window park in a small overflow heap until the
+//     window reaches them.
+//
+// The engines ported onto this package (broadcast.RunDESOpts,
+// broadcast.TimedDES, broadcast.MACDES, sim.RunDES) each keep their
+// scalar counterpart as the golden reference, gated by equivalence and
+// fuzz tests.
+package des
+
+import "clustercast/internal/obs"
+
+// Package-level counters, folded once per run by Wheel.FoldStats (so the
+// event loop itself never touches the atomics).
+var (
+	mSlots   = obs.NewCounter("des.slots")          // occupied slots drained
+	mEvents  = obs.NewCounter("des.events")         // events dequeued
+	mSkipped = obs.NewCounter("des.slots_skipped")  // idle slots jumped over
+	mFar     = obs.NewCounter("des.far_events")     // events parked beyond the wheel window
+	mFanouts = obs.NewCounter("des.shard_fanouts")  // sharded exchange rounds
+	mMail    = obs.NewCounter("des.shard_messages") // cross-shard messages exchanged
+)

@@ -1,0 +1,197 @@
+package des
+
+import (
+	"container/heap"
+	"testing"
+
+	"clustercast/internal/rng"
+)
+
+// refHeap is the reference (time, seq) binary heap the wheel must
+// reproduce: the semantics of broadcast.RunTimed's event heap.
+type refEvent struct {
+	t, seq, val int
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	return h[i].t < h[j].t || (h[i].t == h[j].t && h[i].seq < h[j].seq)
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// drainOrder runs the wheel drain protocol and returns (t, val) pairs in
+// dequeue order, optionally re-pushing follow-up events produced by
+// feed(t, val) mid-drain.
+func drainOrder(w *Wheel[int], feed func(t, val int) (nt, nv int, ok bool)) [][2]int {
+	var out [][2]int
+	for w.Len() > 0 {
+		t := w.OpenSlot()
+		for i := 0; i < w.SlotLen(); i++ {
+			v := w.Event(i)
+			out = append(out, [2]int{t, v})
+			if feed != nil {
+				if nt, nv, ok := feed(t, v); ok {
+					w.Push(nt, nv)
+				}
+			}
+		}
+		w.CloseSlot()
+	}
+	return out
+}
+
+// TestWheelMatchesReferenceHeap drives random push/drain schedules —
+// bursty slots, long idle gaps beyond the window (far heap), same-slot
+// and future pushes during drains — through both the wheel and the
+// reference heap and requires identical dequeue order.
+func TestWheelMatchesReferenceHeap(t *testing.T) {
+	var w Wheel[int]
+	for trial := 0; trial < 200; trial++ {
+		r := rng.New(uint64(trial)*0x9E3779B97F4A7C15 + 1)
+		horizon := 1 + r.Intn(40) // deliberately small: exercises far overflow
+		w.Reset(horizon)
+		ref := refHeap{}
+		seq := 0
+		push := func(t, v int) {
+			w.Push(t, v)
+			heap.Push(&ref, refEvent{t, seq, v})
+			seq++
+		}
+		nInit := 1 + r.Intn(30)
+		for i := 0; i < nInit; i++ {
+			// Mix of near slots and far jumps (idle gaps up to 500 slots).
+			tt := r.Intn(20)
+			if r.Intn(4) == 0 {
+				tt += r.Intn(500)
+			}
+			push(tt, 1000+i)
+		}
+		budget := 200 // follow-up pushes, so drains terminate
+		var got [][2]int
+		for w.Len() > 0 {
+			ot := w.OpenSlot()
+			for i := 0; i < w.SlotLen(); i++ {
+				v := w.Event(i)
+				got = append(got, [2]int{ot, v})
+				// Reference must agree event by event, not just in bulk,
+				// because follow-up pushes depend on dequeue order.
+				re := heap.Pop(&ref).(refEvent)
+				if re.t != ot || re.val != v {
+					t.Fatalf("trial %d: event %d: wheel (t=%d v=%d) ref (t=%d v=%d)",
+						trial, len(got)-1, ot, v, re.t, re.val)
+				}
+				if budget > 0 {
+					budget--
+					switch r.Intn(4) {
+					case 0: // same-slot push, picked up by this drain
+						push(ot, v+1)
+					case 1: // next slot
+						push(ot+1, v+2)
+					case 2: // far future
+						push(ot+1+r.Intn(300), v+3)
+					}
+				}
+			}
+			w.CloseSlot()
+		}
+		if ref.Len() != 0 {
+			t.Fatalf("trial %d: reference heap has %d leftover events", trial, ref.Len())
+		}
+	}
+}
+
+// TestWheelIdleSkip verifies the wheel visits only occupied slots: two
+// events a million slots apart cost two slot opens, not a million.
+func TestWheelIdleSkip(t *testing.T) {
+	var w Wheel[int]
+	w.Reset(8)
+	w.Push(3, 1)
+	w.Push(1_000_000, 2)
+	got := drainOrder(&w, nil)
+	want := [][2]int{{3, 1}, {1_000_000, 2}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("drain = %v, want %v", got, want)
+	}
+	if w.sSlots != 2 {
+		t.Fatalf("opened %d slots, want 2", w.sSlots)
+	}
+	if w.sSkipped < 999_000 {
+		t.Fatalf("skipped %d slots, want ~1e6", w.sSkipped)
+	}
+	w.FoldStats()
+}
+
+// TestWheelPushIntoPastPanics pins the no-time-travel contract.
+func TestWheelPushIntoPastPanics(t *testing.T) {
+	var w Wheel[int]
+	w.Reset(4)
+	w.Push(5, 1)
+	_ = w.OpenSlot()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("push before the open slot did not panic")
+		}
+	}()
+	w.Push(4, 2)
+}
+
+// TestWheelResetReuse checks Reset recovers from an abandoned run
+// (pending events left in buckets and the far heap) without leaking
+// them into the next run.
+func TestWheelResetReuse(t *testing.T) {
+	var w Wheel[int]
+	w.Reset(8)
+	w.Push(0, 1)
+	w.Push(2, 2)
+	w.Push(900, 3)   // far
+	_ = w.OpenSlot() // abandon mid-drain
+	w.Reset(8)
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", w.Len())
+	}
+	w.Push(1, 9)
+	got := drainOrder(&w, nil)
+	if len(got) != 1 || got[0] != [2]int{1, 9} {
+		t.Fatalf("post-reset drain = %v, want [[1 9]]", got)
+	}
+}
+
+// TestWheelSteadyStateAllocs pins the zero-allocation contract of the
+// event loop: after the first run warms the pools, push/open/drain/close
+// cycles allocate nothing (in-window and same-slot pushes; far-heap
+// growth beyond the high-water mark is the only allowed allocation and
+// is warmed too).
+func TestWheelSteadyStateAllocs(t *testing.T) {
+	var w Wheel[int]
+	run := func() {
+		w.Reset(16)
+		for i := 0; i < 8; i++ {
+			w.Push(i*3, i)
+		}
+		w.Push(400, 99) // exercises the far heap
+		for w.Len() > 0 {
+			tt := w.OpenSlot()
+			for i := 0; i < w.SlotLen(); i++ {
+				if v := w.Event(i); v < 4 && tt < 100 {
+					w.Push(tt+2, v+10)
+				}
+			}
+			w.CloseSlot()
+		}
+		w.FoldStats()
+	}
+	run() // warm pools
+	if avg := testing.AllocsPerRun(50, run); avg != 0 {
+		t.Fatalf("steady-state event loop allocates %.1f/run, want 0", avg)
+	}
+}

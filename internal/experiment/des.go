@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"sync/atomic"
+
+	"clustercast/internal/broadcast"
+	"clustercast/internal/coverage"
+	"clustercast/internal/graph"
+	"clustercast/internal/sim"
+)
+
+// desEngine is the opt-in for the event-driven calendar engines
+// (internal/des), behind an atomic like the worker count and the batch
+// toggle. Unlike batch replication the calendar engines are proven
+// bit-identical to the scalar ones — flipping the opt-in never changes
+// CSV bytes, trace streams or statistics; it only changes how the hot
+// loops find their next occupied slot. Off by default: the scalar
+// engines remain the golden reference.
+var desEngine atomic.Bool
+
+// SetDES routes subsequent figure and driver runs through the calendar
+// engines (broadcast.RunDES*, sim.RunDES). Output is bit-identical to
+// the scalar path by construction and by the equivalence suites.
+func SetDES(on bool) { desEngine.Store(on) }
+
+// DES reports whether the calendar engines are enabled.
+func DES() bool { return desEngine.Load() }
+
+// runOpts dispatches one ideal-radio broadcast to the engine the DES
+// toggle selects.
+func runOpts(g *graph.Graph, source int, p broadcast.Protocol, opt broadcast.Options) *broadcast.Result {
+	if DES() {
+		return broadcast.RunDESOpts(g, source, p, opt)
+	}
+	return broadcast.RunOpts(g, source, p, opt)
+}
+
+// runIdeal is runOpts under the ideal radio model.
+func runIdeal(g *graph.Graph, source int, p broadcast.Protocol) *broadcast.Result {
+	return runOpts(g, source, p, broadcast.Options{})
+}
+
+// runTimed dispatches one delayed-decision broadcast.
+func runTimed(g *graph.Graph, source int, p broadcast.TimedProtocol) *broadcast.Result {
+	if DES() {
+		return broadcast.RunTimedDES(g, source, p, broadcast.TimedOptions{})
+	}
+	return broadcast.RunTimed(g, source, p)
+}
+
+// runMAC dispatches one slotted-collision broadcast.
+func runMAC(g *graph.Graph, source int, p broadcast.Protocol, opt broadcast.MACOptions) *broadcast.CollisionResult {
+	if DES() {
+		return broadcast.RunMACDES(g, source, p, opt)
+	}
+	return broadcast.RunMAC(g, source, p, opt)
+}
+
+// runWire dispatches one construction-protocol run (ABL-MSG).
+func runWire(g *graph.Graph, mode coverage.Mode) *sim.Outcome {
+	if DES() {
+		return sim.RunDES(g, mode)
+	}
+	return sim.Run(g, mode)
+}
+
+// runBcast dispatches a workspace-owned ideal-radio broadcast.
+func (ws *Workspace) runBcast(g *graph.Graph, source int, p broadcast.Protocol) *broadcast.WSResult {
+	if DES() {
+		return ws.Bcast.RunDES(g, source, p)
+	}
+	return ws.Bcast.Run(g, source, p)
+}

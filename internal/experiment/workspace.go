@@ -204,7 +204,7 @@ func StaticForwardEstimatorWS(mode coverage.Mode) WSEstimator {
 		}
 		ws.Builder.Reset(nw.G, cl, mode)
 		nodes := ws.Backbone.StaticNodes(&ws.Builder, cl, backbone.Options{})
-		res := ws.Bcast.Run(nw.G, r.Intn(nw.N()), broadcast.StaticCDSBits{Set: nodes})
+		res := ws.runBcast(nw.G, r.Intn(nw.N()), broadcast.StaticCDSBits{Set: nodes})
 		return float64(res.ForwardCount()), true
 	}
 }
@@ -219,7 +219,7 @@ func MOCDSForwardEstimatorWS() WSEstimator {
 		}
 		ws.Builder.Reset(nw.G, cl, coverage.Hop3)
 		nodes := ws.MOCDS.NodesFrom(&ws.Builder, cl)
-		res := ws.Bcast.Run(nw.G, r.Intn(nw.N()), broadcast.StaticCDSBits{Set: nodes})
+		res := ws.runBcast(nw.G, r.Intn(nw.N()), broadcast.StaticCDSBits{Set: nodes})
 		return float64(res.ForwardCount()), true
 	}
 }

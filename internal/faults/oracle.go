@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"math"
 	"sort"
 
 	"clustercast/internal/geom"
@@ -140,6 +141,42 @@ func (o *Oracle) NodeUp(v, t int) bool {
 	}
 	c.idx = i
 	return i%2 == 0
+}
+
+// NextUp returns the first slot r ≥ t in which node v is alive (t itself
+// when it already is, or always, absent a churn schedule). Like NodeUp
+// the answer is a pure function of (spec, v, r), so engines can use it to
+// fast-forward over an outage instead of polling NodeUp slot by slot.
+func (o *Oracle) NextUp(v, t int) int {
+	if o == nil || o.churn == nil {
+		return t
+	}
+	for {
+		T := float64(t + o.spec.Warmup)
+		c := o.extendChurn(v, T)
+		i := c.idx
+		if i > len(c.toggles) {
+			i = len(c.toggles)
+		}
+		for i > 0 && c.toggles[i-1] > T {
+			i--
+		}
+		for i < len(c.toggles) && c.toggles[i] <= T {
+			i++
+		}
+		c.idx = i
+		if i%2 == 0 {
+			return t
+		}
+		// Down on [toggles[i-1], toggles[i]): the next chance is the first
+		// slot whose absolute time reaches the recovery toggle. Loop in case
+		// a sub-slot up period has already ended again by then.
+		nt := int(math.Ceil(c.toggles[i])) - o.spec.Warmup
+		if nt <= t {
+			nt = t + 1
+		}
+		t = nt
+	}
 }
 
 // LinkUp reports whether the (u, v) link is up in slot t — false only while

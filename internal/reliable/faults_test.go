@@ -124,6 +124,57 @@ func TestFaultsDeterministicUnderOracle(t *testing.T) {
 	}
 }
 
+// The idle-window fast-forward must be invisible: every skipped round had
+// no eligible sender, so the polling reference and the jumping run return
+// identical results — under churn outages, loss chains, and the severed
+// stall exit alike.
+func TestFaultsFastForwardBitIdentical(t *testing.T) {
+	g := paperGraph()
+	tree, _ := buildTree(t, g, 0)
+	specs := []faults.Spec{
+		{MeanUp: 25, MeanDown: 10, Seed: 3, LossGood: 0.1, LossBad: 0.4, PGoodBad: 0.05, PBadGood: 0.2},
+		{MeanUp: 8, MeanDown: 30, Seed: 11}, // long outages: deep idle windows
+		{MeanUp: 40, MeanDown: 3, Seed: 5, LossGood: 0.05},
+		{}, // no churn: fast-forward only jumps backoffs
+	}
+	for si, spec := range specs {
+		for seed := uint64(0); seed < 6; seed++ {
+			run := func(noFF bool) *Result {
+				o := faults.New(spec, g.N())
+				res, err := Run(g, tree, 0, Config{
+					Loss: 0.15, Seed: seed, Faults: o, NoFastForward: noFF,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			ref, ff := run(true), run(false)
+			if *ref != *ff {
+				t.Fatalf("spec %d seed %d: fast-forward changed the result:\n  poll %+v\n  jump %+v",
+					si, seed, ref, ff)
+			}
+		}
+	}
+	// The severed-tree case: the stall exit must concede at the identical
+	// round with and without the jump.
+	spec := faults.Spec{Partitions: []faults.Partition{
+		{Start: 0, End: 1 << 30, Vertical: true, Coord: 0.5},
+	}}
+	run := func(noFF bool) *Result {
+		o := faults.New(spec, g.N())
+		o.SetPositions(positionsSplit(g.N(), 0))
+		res, err := Run(g, tree, 0, Config{Faults: o, MaxRounds: 5000, NoFastForward: noFF})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if ref, ff := run(true), run(false); *ref != *ff {
+		t.Fatalf("severed tree: fast-forward changed the stall exit: %+v vs %+v", ref, ff)
+	}
+}
+
 // positionsSplit puts node `left` at x = 0 and everyone else at x = 1, so
 // a vertical cut at 0.5 isolates it.
 func positionsSplit(n, left int) []geom.Point {

@@ -59,6 +59,13 @@ type Config struct {
 	// no progress for a long stretch returns Degraded instead of burning
 	// rounds to the cutoff. nil leaves the classic behavior bit-identical.
 	Faults faults.Model
+	// NoFastForward disables the idle-window fast-forward (the jump over
+	// rounds in which every outstanding sender is crashed or backing off,
+	// available when Faults is a *faults.Oracle) and polls round by round
+	// instead. Results are bit-identical either way — the flag exists as
+	// the golden reference for the equivalence test and for timing the
+	// savings.
+	NoFastForward bool
 }
 
 // Run performs one reliable broadcast of a packet originating at source
@@ -159,6 +166,8 @@ func Run(g *graph.Graph, t *fwdtree.Tree, source int, cfg Config) (*Result, erro
 		attempts = make([]int, n)
 		nextTry = make([]int, n)
 	}
+	ora, _ := fo.(*faults.Oracle)
+	fastForward := ora != nil && !cfg.NoFastForward
 	// stallRounds bounds how long a faulted run keeps retrying without a
 	// single new delivery or acknowledgement before conceding degradation.
 	// It comfortably exceeds the backoff cap (8) plus any realistic outage
@@ -185,17 +194,43 @@ func Run(g *graph.Graph, t *fwdtree.Tree, source int, cfg Config) (*Result, erro
 			break // nobody is getting through; the tree is severed
 		}
 		if len(senders) == 0 {
-			// Everyone owed something is down or backing off; idle the round.
-			// Quiescence under faults means nobody *wants* to send at all.
+			// Everyone owed something is down or backing off; idle until a
+			// sender can get back on the air. Quiescence under faults means
+			// nobody *wants* to send at all.
 			idle := true
+			next := maxRounds + 1
 			for v := 0; v < n; v++ {
-				if wantsToSend(v) {
-					idle = false
+				if !wantsToSend(v) {
+					continue
+				}
+				idle = false
+				if !fastForward {
 					break
+				}
+				// v's first eligible round: past its backoff, then alive.
+				r := round + 1
+				if nextTry[v] > r {
+					r = nextTry[v]
+				}
+				if r = ora.NextUp(v, r); r < next {
+					next = r
 				}
 			}
 			if idle {
 				break
+			}
+			if fastForward {
+				// Jump to the earliest eligible round — capped at the round
+				// the stall check above would concede at, so a severed tree
+				// still degrades at the identical point. Every skipped round
+				// provably had no eligible sender, making the jump invisible
+				// to the result.
+				if cap := lastProgress + stallRounds + 1; next > cap {
+					next = cap
+				}
+				if next > round+1 {
+					round = next - 1
+				}
 			}
 			continue
 		}

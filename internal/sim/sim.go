@@ -86,6 +86,25 @@ type Counters struct {
 	PerType [numMsgTypes]int
 	// Rounds is the number of synchronous rounds until quiescence.
 	Rounds int
+	// ActivePerRound records, round by round (indexed as Rounds-1), how
+	// many distinct nodes transmitted in that round. With n nodes, the
+	// per-round idle fraction 1 − active/n is the work a round-synchronous
+	// simulator wastes scanning silent nodes — the measured quantity the
+	// event-driven core's savings are validated against (ABL-MSG).
+	ActivePerRound []int
+}
+
+// MeanActive returns the mean number of distinct transmitting nodes per
+// counted round (0 when no rounds ran).
+func (c *Counters) MeanActive() float64 {
+	if len(c.ActivePerRound) == 0 {
+		return 0
+	}
+	t := 0
+	for _, a := range c.ActivePerRound {
+		t += a
+	}
+	return float64(t) / float64(len(c.ActivePerRound))
 }
 
 // Total returns the total number of transmissions.
@@ -180,17 +199,26 @@ func Run(g *graph.Graph, mode coverage.Mode) *Outcome {
 	var counters Counters
 
 	// deliver sends every queued message to all neighbors of its sender
-	// and advances one round.
+	// and advances one round, tallying the round's distinct senders.
+	sentAt := make([]int, n)
+	sentGen := 0
 	deliver := func(queue []message) [][]message {
 		inbox := make([][]message, n)
+		sentGen++
+		active := 0
 		for _, m := range queue {
 			counters.PerType[m.typ]++
+			if sentAt[m.from] != sentGen {
+				sentAt[m.from] = sentGen
+				active++
+			}
 			for _, v := range g.Neighbors(m.from) {
 				inbox[v] = append(inbox[v], m)
 			}
 		}
 		if len(queue) > 0 {
 			counters.Rounds++
+			counters.ActivePerRound = append(counters.ActivePerRound, active)
 		}
 		return inbox
 	}
