@@ -3,7 +3,7 @@ GO ?= go
 # Baseline the bench-compare target diffs against.
 BENCH_BASELINE ?= BENCH_PR3.json
 
-.PHONY: all ci build vet test test-race bench-smoke bench bench-compare bench-scale bench-batch bench-des figures trace-smoke faults-smoke
+.PHONY: all ci build vet test test-race bench-smoke bench bench-compare bench-scale bench-batch bench-des bench-build figures trace-smoke faults-smoke
 
 all: vet test
 
@@ -65,6 +65,20 @@ bench-des:
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_PR7.json -threshold 0.10
 	$(GO) test -race -run 'DES|Wheel|Shards' ./internal/des ./internal/broadcast ./internal/sim ./internal/experiment
 	$(GO) run ./cmd/figures -fig gossip -quick -des -seed 7 -workers 4 -format csv
+
+# Sharded construction-stage gate: the unit-disk sweep, clusterhead
+# election and coverage-digest curves diffed against BENCH_PR8.json
+# (-short keeps it to n≤10000), a race pass over the parallel-path
+# equivalence suites (digest, election, grid build, per-head coverage
+# assembly, and the experiment-level bit-identity sweep), and a
+# -buildworkers smoke through cmd/scale end to end.
+bench-build:
+	$(GO) test -short -run xxx -bench 'ShardedCoverage|ParallelCluster|ParallelTopology' -benchtime 10x \
+		./internal/coverage ./internal/cluster ./internal/topology \
+		| $(GO) run ./cmd/benchcmp -baseline BENCH_PR8.json -threshold 0.10
+	$(GO) test -race -run 'Parallel|BuildWorkers' \
+		./internal/coverage ./internal/cluster ./internal/topology ./internal/dynamicb ./internal/experiment
+	$(GO) run ./cmd/scale -n 2000 -d 12 -reps 1 -buildworkers 8
 
 # Full benchmark suite (several minutes).
 bench:

@@ -132,9 +132,11 @@ func compare(w io.Writer, baseline []baselineEntry, got map[string]measurement, 
 // scaleName matches the scaling benchmarks' "Benchmark<Family>/n=<N>/<stage>"
 // naming, capturing family, network size, and stage. The families are the
 // PR1–PR3 Scale* kernels, the PR6 bit-parallel replication curve
-// (BenchmarkReplicateBatch), and the PR7 event-calendar engines
-// (BenchmarkDESMAC/DESWire/DESTimed) — all share the /n=<N>/<variant> shape.
-var scaleName = regexp.MustCompile(`^Benchmark(Scale\w+|ReplicateBatch\w*|DES\w*)/n=(\d+)/(.+)$`)
+// (BenchmarkReplicateBatch), the PR7 event-calendar engines
+// (BenchmarkDESMAC/DESWire/DESTimed), and the PR8 sharded construction
+// stages (BenchmarkShardedCoverage/ParallelCluster/ParallelTopology) — all
+// share the /n=<N>/<variant> shape.
+var scaleName = regexp.MustCompile(`^Benchmark(Scale\w+|ReplicateBatch\w*|DES\w*|ShardedCoverage\w*|ParallelCluster\w*|ParallelTopology\w*)/n=(\d+)/(.+)$`)
 
 // scaleCurves prints, for every Scale* benchmark family and stage seen in
 // the baseline or the current run, the ns/op scaling curve by network size

@@ -39,6 +39,7 @@ type config struct {
 	maxN     int
 	outDir   string
 	workers  int
+	buildW   int
 	batch    bool
 	des      bool
 	cpuProf  string
@@ -137,9 +138,10 @@ func run(cfg config, stdout, stderr io.Writer) error {
 		manifest.Seed = cfg.seed
 		manifest.Workers = cfg.workers
 		manifest.Param("fig", cfg.fig).Param("format", cfg.format).
-			Param("quick", cfg.quick).Param("maxn", cfg.maxN)
+			Param("quick", cfg.quick).Param("maxn", cfg.maxN).Param("buildworkers", cfg.buildW)
 	}
 	experiment.SetParallelism(cfg.workers)
+	experiment.SetBuildWorkers(cfg.buildW)
 	experiment.SetBatchReplication(cfg.batch)
 	experiment.SetDES(cfg.des)
 	rule := stats.PaperRule()
@@ -241,6 +243,9 @@ func main() {
 	flag.StringVar(&cfg.outDir, "out", "", "also write each figure as <dir>/<id>.csv")
 	flag.IntVar(&cfg.workers, "workers", 0,
 		"replication worker count (0: GOMAXPROCS); results are bit-identical for any value")
+	flag.IntVar(&cfg.buildW, "buildworkers", 0,
+		"construction-stage shards inside each replicate — unit-disk sweep, clusterhead "+
+			"election, coverage digest (0: sequential reference paths; bit-identical for any value)")
 	flag.BoolVar(&cfg.batch, "batch", false,
 		"advance 64 replicates per machine word where the protocol and fault model allow it "+
 			"(loss/gossip sweeps); a different Monte-Carlo sample than the scalar default, "+

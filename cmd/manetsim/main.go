@@ -47,6 +47,7 @@ type config struct {
 	des       bool
 	load      string
 	workers   int
+	buildW    int
 	cpuProf   string
 	memProf   string
 	trace     string
@@ -170,7 +171,7 @@ func loadNetwork(cfg *config) (*core.Network, error) {
 		cfg.n = nw.N()
 		return nw, nil
 	}
-	return core.NewRandomNetwork(core.NetworkSpec{N: cfg.n, AvgDegree: cfg.d, Seed: cfg.seed})
+	return core.NewRandomNetwork(core.NetworkSpec{N: cfg.n, AvgDegree: cfg.d, Seed: cfg.seed, BuildWorkers: cfg.buildW})
 }
 
 // run executes the command against the given writer.
@@ -330,6 +331,9 @@ func main() {
 		"run the event-driven calendar engines instead of the scalar round loops (bit-identical output)")
 	flag.IntVar(&cfg.workers, "workers", 0,
 		"cap the Go scheduler's processor count (0: leave GOMAXPROCS at the default); single runs are sequential either way")
+	flag.IntVar(&cfg.buildW, "buildworkers", 0,
+		"shard the unit-disk construction and clusterhead election over this many goroutines "+
+			"(0/1: sequential; the network is bit-identical for any value)")
 	flag.StringVar(&cfg.cpuProf, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&cfg.memProf, "memprofile", "", "write a heap profile to this file after the run")
 	flag.StringVar(&cfg.trace, "trace", "",

@@ -47,6 +47,7 @@ type config struct {
 	seed     uint64
 	reps     int
 	workers  int
+	buildW   int
 	stages   string
 	cpuProf  string
 	memProf  string
@@ -62,6 +63,8 @@ func main() {
 	flag.Uint64Var(&cfg.seed, "seed", 2003, "base RNG seed")
 	flag.IntVar(&cfg.reps, "reps", 3, "replicates per stage")
 	flag.IntVar(&cfg.workers, "workers", 1, "selection shards for static25/mocds (1 = sequential)")
+	flag.IntVar(&cfg.buildW, "buildworkers", 0,
+		"construction-stage shards: unit-disk sweep, clusterhead election and coverage digest (0 = sequential reference paths; results are bit-identical either way)")
 	flag.StringVar(&cfg.stages, "stages", "static25,mocds,dynamic25", "comma-separated stages to run")
 	flag.BoolVar(&cfg.des, "des", false,
 		"run dynamic25 broadcasts on the event-calendar engine (bit-identical results)")
@@ -88,23 +91,23 @@ func stageSet(workers int, des bool) map[string]stageFunc {
 	pmo := mocds.NewParallelWorkspace()
 	return map[string]stageFunc{
 		"static25": func(ws *experiment.Workspace, nw *topology.Network, _ int, _ *obs.Tracer) float64 {
-			cl := ws.Cluster.LowestID(nw.G)
-			ws.Builder.Reset(nw.G, cl, coverage.Hop25)
+			cl := ws.Elect(nw.G)
+			ws.Digest(nw.G, cl, coverage.Hop25)
 			if workers > 1 {
 				return float64(pbb.StaticSize(&ws.Builder, cl, backbone.Options{}, workers))
 			}
 			return float64(ws.Backbone.StaticSize(&ws.Builder, cl, backbone.Options{}))
 		},
 		"mocds": func(ws *experiment.Workspace, nw *topology.Network, _ int, _ *obs.Tracer) float64 {
-			cl := ws.Cluster.LowestID(nw.G)
-			ws.Builder.Reset(nw.G, cl, coverage.Hop3)
+			cl := ws.Elect(nw.G)
+			ws.Digest(nw.G, cl, coverage.Hop3)
 			if workers > 1 {
 				return float64(pmo.SizeFrom(&ws.Builder, cl, workers))
 			}
 			return float64(ws.MOCDS.SizeFrom(&ws.Builder, cl))
 		},
 		"dynamic25": func(ws *experiment.Workspace, nw *topology.Network, source int, tr *obs.Tracer) float64 {
-			cl := ws.Cluster.LowestID(nw.G)
+			cl := ws.Elect(nw.G)
 			p := ws.Dynamic.NewWith(nw.G, cl, coverage.Hop25)
 			// Set unconditionally: the pooled protocol keeps its tracer
 			// across NewWith, so untraced replicates must clear it.
@@ -119,6 +122,7 @@ func stageSet(workers int, des bool) map[string]stageFunc {
 const tracedStage = "dynamic25"
 
 func run(cfg config, out io.Writer) error {
+	experiment.SetBuildWorkers(cfg.buildW)
 	stages := stageSet(cfg.workers, cfg.des)
 	var names []string
 	for _, s := range strings.Split(cfg.stages, ",") {
@@ -161,7 +165,7 @@ func run(cfg config, out io.Writer) error {
 		manifest = obs.NewManifest("scale")
 		manifest.Seed = cfg.seed
 		manifest.Workers = cfg.workers
-		manifest.Param("n", cfg.n).Param("d", cfg.d).Param("reps", cfg.reps).Param("stages", strings.Join(names, ","))
+		manifest.Param("n", cfg.n).Param("d", cfg.d).Param("reps", cfg.reps).Param("stages", strings.Join(names, ",")).Param("buildworkers", cfg.buildW)
 	}
 
 	stopProf, err := prof.Start(cfg.cpuProf, cfg.memProf)
@@ -169,8 +173,8 @@ func run(cfg config, out io.Writer) error {
 		return err
 	}
 
-	fmt.Fprintf(out, "scale: n=%d d=%g seed=%d reps=%d workers=%d (GOMAXPROCS=%d)\n",
-		cfg.n, cfg.d, cfg.seed, cfg.reps, cfg.workers, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(out, "scale: n=%d d=%g seed=%d reps=%d workers=%d buildworkers=%d (GOMAXPROCS=%d)\n",
+		cfg.n, cfg.d, cfg.seed, cfg.reps, cfg.workers, cfg.buildW, runtime.GOMAXPROCS(0))
 	ws := experiment.NewWorkspace()
 	sc := experiment.DefaultScenario(cfg.n, cfg.d, cfg.seed)
 	var clk obs.StageClock
@@ -178,6 +182,7 @@ func run(cfg config, out io.Writer) error {
 	for _, name := range names {
 		st := stages[name]
 		kernelTimes := make([]time.Duration, 0, cfg.reps)
+		var heapHigh uint64 // stage heap high-water mark (HeapInuse after a kernel)
 		for rep := 0; rep < cfg.reps; rep++ {
 			t0 := time.Now()
 			nw, _, ok := sc.SampleWS(ws, "scale-"+name, rep)
@@ -201,19 +206,26 @@ func run(cfg config, out io.Writer) error {
 			t1 := time.Now()
 			v := st(ws, nw, cfg.n/2, tr)
 			kernel := time.Since(t1)
+			// Heap high-water: HeapInuse right after the kernel catches the
+			// stage's peak structures (digests, coverage arenas, engine
+			// state) before the next sample disturbs them.
+			runtime.ReadMemStats(&ms1)
+			if ms1.HeapInuse > heapHigh {
+				heapHigh = ms1.HeapInuse
+			}
 			if measured {
-				runtime.ReadMemStats(&ms1)
 				clk.Add(name+".sample", sample.Nanoseconds())
 				clk.Add(name+".kernel", kernel.Nanoseconds())
 				clk.AddAlloc(name+".kernel", int64(ms1.TotalAlloc-ms0.TotalAlloc))
 			}
 			kernelTimes = append(kernelTimes, kernel)
-			fmt.Fprintf(out, "%-10s rep=%d  sample=%-12v kernel=%-12v result=%g\n",
-				name, rep, sample.Round(time.Microsecond), kernel.Round(time.Microsecond), v)
+			fmt.Fprintf(out, "%-10s rep=%d  sample=%-12v kernel=%-12v heap=%-10s result=%g\n",
+				name, rep, sample.Round(time.Microsecond), kernel.Round(time.Microsecond),
+				fmt.Sprintf("%.1fMiB", float64(ms1.HeapInuse)/(1<<20)), v)
 		}
 		sort.Slice(kernelTimes, func(i, j int) bool { return kernelTimes[i] < kernelTimes[j] })
-		fmt.Fprintf(out, "%-10s median kernel %v over %d reps\n",
-			name, kernelTimes[len(kernelTimes)/2].Round(time.Microsecond), len(kernelTimes))
+		fmt.Fprintf(out, "%-10s median kernel %v over %d reps, heap high-water %.1f MiB\n",
+			name, kernelTimes[len(kernelTimes)/2].Round(time.Microsecond), len(kernelTimes), float64(heapHigh)/(1<<20))
 	}
 	obs.MergeStages(&clk)
 

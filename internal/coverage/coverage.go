@@ -33,6 +33,7 @@ import (
 	"sort"
 
 	"clustercast/internal/cluster"
+	"clustercast/internal/des"
 	"clustercast/internal/graph"
 )
 
@@ -180,6 +181,13 @@ type Builder struct {
 	cnt       []int
 	scratch   []Hop2Entry
 	sharedCov Coverage
+
+	// Sharded digest state (ResetParallel): the strip partitioner, the
+	// per-worker arenas/scratch, and the int32 digest shadow. Untouched by
+	// Reset.
+	sh     des.Shards
+	shards []buildShard
+	d32    digest32
 }
 
 // AsmScratch is the epoch-stamped mark array one coverage assembly uses:

@@ -1,0 +1,334 @@
+package coverage
+
+import (
+	"math"
+	"sort"
+
+	"clustercast/internal/cluster"
+	"clustercast/internal/graph"
+)
+
+// buildShard is the private state of one digest worker: its slice of the
+// CH_HOP2 entry space lives in an arena only it appends to, and the
+// published ch2 views point straight into the arena — the "merge" is the
+// node-ordered view table itself, so no copy pass is needed. The arena is
+// chunked: entries go into fixed-size chunks that are never reallocated,
+// so published views stay valid without keeping dead arena generations
+// alive — with a single growing arena, every realloc left the previous
+// array pinned by the views published before it, and at large n the
+// ballooning heap turned the digest into a GC storm. Chunks are reused
+// across calls. hasm is the worker's mark scratch over the dense head
+// universe (see digest32).
+type buildShard struct {
+	chunks  [][]Hop2Entry
+	scratch []Hop2Entry
+	hasm    AsmScratch
+	obuf    []int32 // per-node probe gather buffers (one slot per neighbor)
+	ebuf    []int32
+	total   int // CH_HOP1 entries owned by this strip
+}
+
+// arenaChunk is the arena chunk capacity in entries (1 MiB chunks). One
+// node's entries always live in one chunk: a flush that does not fit
+// opens the next chunk, and a node with more entries than arenaChunk gets
+// a dedicated chunk of its own size.
+const arenaChunk = 1 << 16
+
+// flush appends one node's deduplicated, sorted entries to the shard
+// arena and returns the published full-slice-expression view.
+func (sd *buildShard) flush(ci *int, scratch []Hop2Entry) []Hop2Entry {
+	for {
+		if *ci == len(sd.chunks) {
+			c := arenaChunk
+			if len(scratch) > c {
+				c = len(scratch)
+			}
+			sd.chunks = append(sd.chunks, make([]Hop2Entry, 0, c))
+		}
+		cur := sd.chunks[*ci]
+		if len(cur)+len(scratch) <= cap(cur) {
+			start := len(cur)
+			cur = append(cur, scratch...)
+			sd.chunks[*ci] = cur
+			return cur[start:len(cur):len(cur)]
+		}
+		*ci++
+	}
+}
+
+// digest32 is the packed shadow of the CH_HOP1 digests and the cluster
+// assignment ResetParallel builds alongside the []int views it publishes.
+// Clusterheads are renumbered into dense indices 0..|heads|−1 (ascending,
+// so dense order equals ID order): the CH_HOP2 pass performs ~2m random
+// probes, and in dense-index space its mark array is |heads|-sized (~40 KB
+// at n=100k, L1-resident) instead of n-sized, while the per-relay tables
+// shrink to one int32 load each.
+type digest32 struct {
+	code  []int32 // code[v]: dense index of head[v]
+	heads []int32 // cl.Heads as int32 (dense index -> head ID)
+	hidx  []int32 // build scratch: head ID -> dense index (valid at head IDs only)
+	off   []int32 // ch1 CSR offsets: ch1 of v is dat[off[v]:off[v+1]]
+	dat   []int32 // ch1 CSR entries as dense head indices
+}
+
+// ResetParallel re-digests the builder exactly like Reset, with the
+// per-node work sharded into contiguous ID strips across workers
+// goroutines (sequentially when workers ≤ 1). The digests it publishes —
+// ch1 layout included — are bit-identical to Reset's for any worker
+// count; Reset remains the golden reference.
+//
+// Beyond the sharding, the CH_HOP2 pass here is restructured around two
+// observations. First, candidates are deduplicated before they are
+// sorted: entries stream by in ascending relay order through two epoch
+// stamps (adjacent-head, already-sighted), so the first sighting of a
+// clusterhead already carries its lowest relay and Reset's sort over the
+// duplicate-heavy raw list becomes an insertion sort of the few
+// survivors. Second, all random probes go through the dense-index int32
+// shadow (digest32), and the 3-hop pass drops the is-head relay test
+// entirely — a clusterhead's own ch1 list is empty by the independent-set
+// property, so head relays contribute nothing either way. That, not the
+// goroutines, is the sequential speedup of the -buildworkers path;
+// equivalence is pinned by the digest tests and the fuzz target.
+func (b *Builder) ResetParallel(g *graph.Graph, cl *cluster.Clustering, mode Mode, workers int) {
+	n := g.N()
+	if workers < 1 {
+		workers = 1
+	}
+	b.g, b.cl, b.mode = g, cl, mode
+	if cap(b.ch1) < n {
+		b.ch1 = make([][]int, n)
+		b.ch2 = make([][]Hop2Entry, n)
+	}
+	b.ch1 = b.ch1[:n]
+	b.ch2 = b.ch2[:n]
+
+	b.sh.ResetRange(n, workers)
+	k := b.sh.K()
+	if cap(b.shards) < k {
+		b.shards = make([]buildShard, k)
+	}
+	shards := b.shards[:k]
+
+	heads := cl.Heads
+	head := cl.Head
+	nh := len(heads)
+	if cap(b.d32.code) < n {
+		b.d32.code = make([]int32, n)
+		b.d32.hidx = make([]int32, n)
+		b.d32.off = make([]int32, n+1)
+	}
+	if cap(b.d32.heads) < nh {
+		b.d32.heads = make([]int32, nh)
+	}
+	code := b.d32.code[:n]
+	hidx := b.d32.hidx[:n]
+	heads32 := b.d32.heads[:nh]
+	for i, h := range heads {
+		hidx[h] = int32(i)
+		heads32[i] = int32(h)
+	}
+
+	// CH_HOP1 count pass: same head-scatter as Reset, restricted per strip
+	// to the [lo, hi) slice of each head's ascending adjacency segment so
+	// every cnt[v] has a single writer. The strip also renumbers its nodes'
+	// cluster assignment into dense head indices.
+	if cap(b.cnt) < n+1 {
+		b.cnt = make([]int, n+1)
+	}
+	cnt := b.cnt[:n+1]
+	b.sh.Each(workers, func(s int) {
+		lo, hi := b.sh.Range(s)
+		for v := lo; v < hi; v++ {
+			cnt[v] = 0
+			code[v] = hidx[head[v]]
+		}
+		total := 0
+		if k == 1 {
+			for _, h := range heads {
+				for _, v := range g.Neighbors(h) {
+					cnt[v]++
+				}
+				total += g.Degree(h)
+			}
+		} else {
+			for _, h := range heads {
+				nb := g.Neighbors(h)
+				for _, v := range nb[sort.SearchInts(nb, lo):] {
+					if v >= hi {
+						break
+					}
+					cnt[v]++
+					total++
+				}
+			}
+		}
+		shards[s].total = total
+	})
+
+	// Sequential stitch: prefix-sum the counts into start offsets and
+	// publish the (still empty) views, exactly Reset's layout.
+	total := 0
+	for s := range shards {
+		total += shards[s].total
+	}
+	// The int32 digest shadow addresses CH_HOP1 entries with 31-bit
+	// offsets. Σ deg(head) ≈ n·d̄/π stays far below 2³¹ for every paper
+	// regime (n=1M at d=18 is ~1.8M entries); a graph dense enough to
+	// overflow would need ~2.1 billion head-adjacencies, so fail loudly
+	// instead of corrupting the digest.
+	if int64(total) > math.MaxInt32 {
+		panic("coverage: CH_HOP1 digest exceeds 2^31 entries; the int32 digest shadow cannot address it")
+	}
+	if cap(b.ch1backing) < total {
+		b.ch1backing = make([]int, total)
+	}
+	if cap(b.d32.dat) < total {
+		b.d32.dat = make([]int32, total)
+	}
+	backing := b.ch1backing[:total]
+	dat := b.d32.dat[:total]
+	ch1off := b.d32.off[:n+1]
+	off := 0
+	for v := 0; v < n; v++ {
+		c := cnt[v]
+		b.ch1[v] = backing[off : off+c : off+c]
+		ch1off[v] = int32(off)
+		cnt[v] = off
+		off += c
+	}
+	ch1off[n] = int32(off)
+	b.ch1backing = backing
+	b.d32.dat = dat
+
+	// CH_HOP1 fill pass: cursor fill, per strip, heads ascending — each
+	// ch1[v] comes out sorted and duplicate-free exactly as in Reset. The
+	// dense-index shadow is filled through the same cursors.
+	b.sh.Each(workers, func(s int) {
+		if k == 1 {
+			for hi32, h := range heads {
+				for _, v := range g.Neighbors(h) {
+					c := cnt[v]
+					backing[c] = h
+					dat[c] = int32(hi32)
+					cnt[v] = c + 1
+				}
+			}
+			return
+		}
+		lo, hi := b.sh.Range(s)
+		for hi32, h := range heads {
+			nb := g.Neighbors(h)
+			for _, v := range nb[sort.SearchInts(nb, lo):] {
+				if v >= hi {
+					break
+				}
+				c := cnt[v]
+				backing[c] = h
+				dat[c] = int32(hi32)
+				cnt[v] = c + 1
+			}
+		}
+	})
+
+	// CH_HOP2 pass, per strip: stream candidates in ascending relay order
+	// through two stamps — epA marks v's adjacent heads (never reported),
+	// epB marks clusterheads already sighted for v (the first sighting has
+	// the lowest relay, which is exactly the entry Reset's sort-then-dedupe
+	// keeps) — then insertion-sort the deduplicated survivors. The mark
+	// array lives in dense-index space, and dense order equals ID order,
+	// so sorting by W is unchanged.
+	//
+	// Each node's relay probes are split into a branch-free gather loop
+	// (every neighbor's table entry into a local buffer) followed by the
+	// consume loop. The gather's loads carry no cross-iteration
+	// dependencies, so the out-of-order core keeps many cache misses in
+	// flight at once instead of paying them one by one interleaved with
+	// the consume branches — the probes are the digest's whole cost.
+	b.sh.Each(workers, func(s int) {
+		sd := &shards[s]
+		sd.hasm.ensure(nh)
+		if sd.scratch == nil {
+			sd.scratch = make([]Hop2Entry, 0, 64)
+		}
+		scratch := sd.scratch[:0]
+		for i := range sd.chunks {
+			sd.chunks[i] = sd.chunks[i][:0]
+		}
+		ci := 0
+		mark := sd.hasm.mark
+		lo, hi := b.sh.Range(s)
+		for v := lo; v < hi; v++ {
+			if head[v] == v {
+				b.ch2[v] = nil
+				continue
+			}
+			nb := g.Neighbors(v)
+			if len(nb) > cap(sd.obuf) {
+				sd.obuf = make([]int32, len(nb)+16)
+				sd.ebuf = make([]int32, len(nb)+16)
+			}
+			epA := sd.hasm.stamps(2)
+			epB := epA + 1
+			for _, wi := range dat[ch1off[v]:ch1off[v+1]] {
+				mark[wi] = epA
+			}
+			scratch = scratch[:0]
+			if mode == Hop25 {
+				ob := sd.obuf[:len(nb)]
+				for i, r := range nb {
+					ob[i] = code[r]
+				}
+				for i, r := range nb {
+					ci := ob[i]
+					w := heads32[ci]
+					if int(w) == r {
+						continue // CH_HOP1 messages come from non-clusterheads only
+					}
+					if mark[ci] < epA {
+						mark[ci] = epB
+						scratch = append(scratch, Hop2Entry{W: int(w), R: r})
+					}
+				}
+			} else {
+				ob := sd.obuf[:len(nb)]
+				eb := sd.ebuf[:len(nb)]
+				for i, r := range nb {
+					ob[i] = ch1off[r]
+					eb[i] = ch1off[r+1]
+				}
+				for i, r := range nb {
+					// No is-head test: a clusterhead r has an empty ch1 list
+					// (clusterheads are pairwise non-adjacent), so the inner
+					// loop skips it for free.
+					for _, wi := range dat[ob[i]:eb[i]] {
+						if mark[wi] < epA {
+							mark[wi] = epB
+							scratch = append(scratch, Hop2Entry{W: int(heads32[wi]), R: r})
+						}
+					}
+				}
+			}
+			if len(scratch) == 0 {
+				b.ch2[v] = nil
+				continue
+			}
+			sortEntriesByW(scratch)
+			b.ch2[v] = sd.flush(&ci, scratch)
+		}
+		sd.scratch = scratch
+	})
+}
+
+// sortEntriesByW orders already-deduplicated CH_HOP2 entries by
+// clusterhead ID (the Ws are distinct, so no relay tiebreak is needed).
+func sortEntriesByW(es []Hop2Entry) {
+	for i := 1; i < len(es); i++ {
+		e := es[i]
+		j := i - 1
+		for j >= 0 && es[j].W > e.W {
+			es[j+1] = es[j]
+			j--
+		}
+		es[j+1] = e
+	}
+}

@@ -1,0 +1,173 @@
+package coverage
+
+import (
+	"reflect"
+	"testing"
+
+	"clustercast/internal/cluster"
+	"clustercast/internal/geom"
+	"clustercast/internal/rng"
+	"clustercast/internal/topology"
+)
+
+// requireSameDigest asserts ResetParallel reproduced Reset's digests bit
+// for bit: every CH1 view and every CH2 entry list, per node.
+func requireSameDigest(t *testing.T, want, got *Builder, n int, ctx string) {
+	t.Helper()
+	for v := 0; v < n; v++ {
+		if !reflect.DeepEqual(want.CH1(v), got.CH1(v)) {
+			t.Fatalf("%s: CH1(%d) differs\nwant %v\ngot  %v", ctx, v, want.CH1(v), got.CH1(v))
+		}
+		w, g := want.CH2Entries(v), got.CH2Entries(v)
+		if len(w) != len(g) {
+			t.Fatalf("%s: CH2(%d) length %d != %d\nwant %v\ngot  %v", ctx, v, len(g), len(w), w, g)
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("%s: CH2(%d) differs\nwant %v\ngot  %v", ctx, v, w, g)
+			}
+		}
+	}
+}
+
+// The sharded digest matches Reset bit for bit across worker counts,
+// modes, densities and seeds, with builder reuse between configurations.
+func TestResetParallelEquivalence(t *testing.T) {
+	var ref, par Builder
+	cws := cluster.NewWorkspace()
+	for _, tc := range []struct {
+		n    int
+		deg  float64
+		seed uint64
+	}{
+		{1, 1, 7}, {2, 1, 7}, {40, 4, 1}, {200, 8, 2}, {500, 18, 3}, {1000, 30, 4},
+	} {
+		r := rng.New(tc.seed)
+		nw, err := topology.Generate(topology.Config{
+			N: tc.n, Bounds: geom.Square(100), AvgDegree: tc.deg,
+		}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := cws.LowestID(nw.G)
+		for _, mode := range []Mode{Hop25, Hop3} {
+			ref.Reset(nw.G, cl, mode)
+			for _, workers := range []int{1, 2, 3, 4, 8, 16} {
+				par.ResetParallel(nw.G, cl, mode, workers)
+				requireSameDigest(t, &ref, &par, tc.n, mode.String())
+			}
+		}
+	}
+}
+
+// A builder digested by ResetParallel serves the same coverage sets as a
+// Reset one — the assembly paths downstream of the digests see identical
+// inputs.
+func TestResetParallelCoverageAgrees(t *testing.T) {
+	r := rng.New(11)
+	nw, err := topology.Generate(topology.Config{
+		N: 600, Bounds: geom.Square(100), AvgDegree: 14,
+	}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.NewWorkspace().LowestID(nw.G)
+	var ref, par Builder
+	for _, mode := range []Mode{Hop25, Hop3} {
+		ref.Reset(nw.G, cl, mode)
+		par.ResetParallel(nw.G, cl, mode, 4)
+		var scrA, scrB AsmScratch
+		var cw, cg Coverage
+		for _, h := range cl.Heads {
+			ref.OfScratch(h, &cw, &scrA)
+			par.OfScratch(h, &cg, &scrB)
+			if !cw.C2.Equal(cg.C2) || !cw.C3.Equal(cg.C3) {
+				t.Fatalf("%v: coverage sets of head %d differ", mode, h)
+			}
+			if len(cw.Conns) != len(cg.Conns) {
+				t.Fatalf("%v: head %d: %d connectors != %d", mode, h, len(cg.Conns), len(cw.Conns))
+			}
+			for i := range cw.Conns {
+				a, b := &cw.Conns[i], &cg.Conns[i]
+				if a.V != b.V || !reflect.DeepEqual(a.Direct, b.Direct) || !reflect.DeepEqual(a.Indirect, b.Indirect) {
+					t.Fatalf("%v: head %d connector %d differs", mode, h, i)
+				}
+			}
+		}
+	}
+}
+
+// Fuzz: sharded digest vs Reset across (n, density, seed, workers, mode).
+func FuzzResetParallelAgree(f *testing.F) {
+	f.Add(uint(50), uint(8), uint64(1), uint(4))
+	f.Add(uint(200), uint(16), uint64(9), uint(16))
+	f.Add(uint(3), uint(1), uint64(3), uint(2))
+	var ref, par Builder
+	cws := cluster.NewWorkspace()
+	f.Fuzz(func(t *testing.T, n, deg uint, seed uint64, workers uint) {
+		n = 1 + n%300
+		deg = deg % 24
+		workers = 1 + workers%16
+		r := rng.New(seed)
+		nw, err := topology.Generate(topology.Config{
+			N: int(n), Bounds: geom.Square(100), AvgDegree: float64(deg),
+		}, r)
+		if err != nil {
+			t.Skip()
+		}
+		cl := cws.LowestID(nw.G)
+		for _, mode := range []Mode{Hop25, Hop3} {
+			ref.Reset(nw.G, cl, mode)
+			par.ResetParallel(nw.G, cl, mode, int(workers))
+			requireSameDigest(t, &ref, &par, int(n), mode.String())
+		}
+	})
+}
+
+func benchmarkDigest(b *testing.B, n int, mode Mode, parallel bool, workers int) {
+	r := rng.New(1)
+	nw, err := topology.Generate(topology.Config{
+		N: n, Bounds: geom.Square(100), AvgDegree: 18, RequireConnected: true,
+	}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := cluster.NewWorkspace().LowestID(nw.G)
+	var bld Builder
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if parallel {
+			bld.ResetParallel(nw.G, cl, mode, workers)
+		} else {
+			bld.Reset(nw.G, cl, mode)
+		}
+	}
+}
+
+func BenchmarkShardedCoverage(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		if n > 10000 && testing.Short() {
+			continue
+		}
+		for _, m := range []Mode{Hop25, Hop3} {
+			prefix := "n=" + itoa(n) + "/" + m.String() + "-"
+			b.Run(prefix+"reference", func(b *testing.B) { benchmarkDigest(b, n, m, false, 1) })
+			b.Run(prefix+"sharded-w1", func(b *testing.B) { benchmarkDigest(b, n, m, true, 1) })
+			b.Run(prefix+"sharded-w8", func(b *testing.B) { benchmarkDigest(b, n, m, true, 8) })
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

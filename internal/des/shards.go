@@ -150,6 +150,33 @@ func (sh *Shards) Fanout(workers int, produce func(src int, emit func(dst int, m
 	}
 }
 
+// Each runs f(0..K−1) with the worker-pool/barrier semantics of a single
+// Fanout phase — sequentially on the caller's goroutine when workers ≤ 1
+// — for callers that need a plain sharded pass without a mail exchange
+// (e.g. per-strip initialization between two Fanout rounds).
+func (sh *Shards) Each(workers int, f func(s int)) {
+	k := sh.k
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 || k <= 1 {
+		for s := 0; s < k; s++ {
+			f(s)
+		}
+		return
+	}
+	sh.each(workers, f)
+}
+
+// Range returns the contiguous node interval [lo, hi) owned by shard s
+// under the ResetRange partition (shard of v = v·k/n). It is meaningless
+// after ResetStrips, whose shards are not ID-contiguous.
+func (sh *Shards) Range(s int) (lo, hi int) {
+	n := len(sh.owner)
+	k := sh.k
+	return (s*n + k - 1) / k, ((s+1)*n + k - 1) / k
+}
+
 // deliver concatenates destination shard d's mailboxes in ascending src
 // order into the pooled buffer, emptying them for the next round.
 func (sh *Shards) deliver(d int) []Mail {

@@ -1,0 +1,48 @@
+package dynamicb
+
+import (
+	"testing"
+
+	"clustercast/internal/cluster"
+	"clustercast/internal/coverage"
+	"clustercast/internal/geom"
+	"clustercast/internal/rng"
+	"clustercast/internal/topology"
+)
+
+// TestBuildWorkersProtocolBitIdentical proves the sharded construction
+// path — parallel coverage digest plus parallel per-clusterhead coverage
+// assembly — changes no broadcast decision: forward counts and
+// transmitting sets equal the sequential workspace's for every source,
+// both modes, across worker counts.
+func TestBuildWorkersProtocolBitIdentical(t *testing.T) {
+	seq := NewWorkspace()
+	par := NewWorkspace()
+	for rep := 0; rep < 4; rep++ {
+		nw, err := topology.Generate(topology.Config{
+			N: 120, Bounds: geom.Square(100), AvgDegree: 10,
+			RequireConnected: true,
+		}, rng.New(uint64(900+rep)))
+		if err != nil {
+			t.Fatalf("rep %d: generate: %v", rep, err)
+		}
+		cl := cluster.LowestID(nw.G)
+		for _, mode := range []coverage.Mode{coverage.Hop25, coverage.Hop3} {
+			want := seq.NewWith(nw.G, cl, mode)
+			wres := make([]int, nw.N())
+			for src := 0; src < nw.N(); src++ {
+				wres[src] = want.Broadcast(src).ForwardCount()
+			}
+			for _, workers := range []int{2, 3, 8} {
+				par.BuildWorkers = workers
+				got := par.NewWith(nw.G, cl, mode)
+				for src := 0; src < nw.N(); src++ {
+					if fc := got.Broadcast(src).ForwardCount(); fc != wres[src] {
+						t.Fatalf("rep %d mode %v workers %d src %d: forward count %d, want %d",
+							rep, mode, workers, src, fc, wres[src])
+					}
+				}
+			}
+		}
+	}
+}

@@ -114,14 +114,14 @@ func floodingKernel(ws *Workspace, nw *topology.Network, cl *cluster.Clustering,
 // staticCDSKernel broadcasts over the paper's static 2.5-hop backbone,
 // built workspace-backed like StaticForwardEstimatorWS.
 func staticCDSKernel(ws *Workspace, nw *topology.Network, cl *cluster.Clustering, src, batch int) broadcast.BatchProtocol {
-	ws.Builder.Reset(nw.G, cl, coverage.Hop25)
+	ws.Digest(nw.G, cl, coverage.Hop25)
 	nodes := ws.Backbone.StaticNodes(&ws.Builder, cl, backbone.Options{})
 	return broadcast.BatchStaticCDS{Set: nodes, Label: "static-2.5hop"}
 }
 
 // mocdsKernel broadcasts over the MO_CDS baseline.
 func mocdsKernel(ws *Workspace, nw *topology.Network, cl *cluster.Clustering, src, batch int) broadcast.BatchProtocol {
-	ws.Builder.Reset(nw.G, cl, coverage.Hop3)
+	ws.Digest(nw.G, cl, coverage.Hop3)
 	nodes := ws.MOCDS.NodesFrom(&ws.Builder, cl)
 	return broadcast.BatchStaticCDS{Set: nodes, Label: "mo-cds"}
 }

@@ -9,6 +9,7 @@ import (
 	"clustercast/internal/cluster"
 	"clustercast/internal/coverage"
 	"clustercast/internal/dynamicb"
+	"clustercast/internal/graph"
 	"clustercast/internal/mocds"
 	"clustercast/internal/obs"
 	"clustercast/internal/rng"
@@ -28,6 +29,7 @@ import (
 type Workspace struct {
 	Topo     *topology.Workspace
 	Cluster  *cluster.Workspace
+	PCluster *cluster.ParallelWorkspace
 	Builder  coverage.Builder
 	Backbone *backbone.Workspace
 	MOCDS    *mocds.Workspace
@@ -50,6 +52,7 @@ func NewWorkspace() *Workspace {
 	return &Workspace{
 		Topo:     topology.NewWorkspace(),
 		Cluster:  cluster.NewWorkspace(),
+		PCluster: cluster.NewParallelWorkspace(),
 		Backbone: backbone.NewWorkspace(),
 		MOCDS:    mocds.NewWorkspace(),
 		Dynamic:  dynamicb.NewWorkspace(),
@@ -69,6 +72,12 @@ func (sc Scenario) SampleWS(ws *Workspace, label string, rep int) (*topology.Net
 		defer ws.Clock.Observe("sample", time.Now())
 	}
 	ws.rng.SeedLabeled(sc.Seed^uint64(rep)*0x9E3779B97F4A7C15, label)
+	// Propagate the construction knob to the stages with their own builders.
+	// Every sharded path is bit-identical to its sequential reference, so
+	// the sample (and everything derived from it) does not depend on this.
+	bw := effectiveBuildWorkers()
+	ws.Topo.BuildWorkers = bw
+	ws.Dynamic.BuildWorkers = bw
 	nw, err := topology.GenerateWith(topology.Config{
 		N: sc.N, Bounds: sc.Bounds, AvgDegree: sc.AvgDegree,
 		RequireConnected: true, MaxAttempts: 200,
@@ -144,6 +153,33 @@ func sweepWS(name string, ns []int, d float64, seed uint64, rule stats.StopRule,
 	return s
 }
 
+// Elect runs the lowest-ID clusterhead election through the configured
+// construction path: the worklist election sharded over the
+// -buildworkers goroutines when the knob is on and more than one core is
+// available, the reference round-scan Workspace otherwise (the worklist
+// is bit-identical but has no sequential edge, so one effective worker
+// keeps the reference). The returned Clustering is workspace-owned.
+func (ws *Workspace) Elect(g *graph.Graph) *cluster.Clustering {
+	if w := effectiveBuildWorkers(); w > 1 {
+		return ws.PCluster.LowestID(g, w)
+	}
+	return ws.Cluster.LowestID(g)
+}
+
+// Digest re-digests the workspace coverage builder through the configured
+// construction path. With the knob on it always takes ResetParallel —
+// its restructured CH_HOP2 pass (dedupe-before-sort, dense-index probes)
+// is faster than Reset even at one worker — and shards it across the
+// effective worker count; knob off keeps the golden-reference Reset.
+// Either way the published digests are bit-identical.
+func (ws *Workspace) Digest(g *graph.Graph, cl *cluster.Clustering, mode coverage.Mode) {
+	if w := effectiveBuildWorkers(); w > 0 {
+		ws.Builder.ResetParallel(g, cl, mode, w)
+		return
+	}
+	ws.Builder.Reset(g, cl, mode)
+}
+
 // clusteredSampleWS draws a topology and its lowest-ID clustering over the
 // workspace.
 func clusteredSampleWS(ws *Workspace, sc Scenario, label string, rep int) (*topology.Network, *cluster.Clustering, *rng.Stream, bool) {
@@ -151,7 +187,7 @@ func clusteredSampleWS(ws *Workspace, sc Scenario, label string, rep int) (*topo
 	if !ok {
 		return nil, nil, nil, false
 	}
-	return nw, ws.Cluster.LowestID(nw.G), r, true
+	return nw, ws.Elect(nw.G), r, true
 }
 
 // StaticSizeEstimatorWS is StaticSizeEstimator over a reusable workspace:
@@ -163,7 +199,7 @@ func StaticSizeEstimatorWS(mode coverage.Mode) WSEstimator {
 		if !ok {
 			return 0, false
 		}
-		ws.Builder.Reset(nw.G, cl, mode)
+		ws.Digest(nw.G, cl, mode)
 		return float64(ws.Backbone.StaticSize(&ws.Builder, cl, backbone.Options{})), true
 	}
 }
@@ -175,7 +211,7 @@ func MOCDSSizeEstimatorWS() WSEstimator {
 		if !ok {
 			return 0, false
 		}
-		ws.Builder.Reset(nw.G, cl, coverage.Hop3)
+		ws.Digest(nw.G, cl, coverage.Hop3)
 		return float64(ws.MOCDS.SizeFrom(&ws.Builder, cl)), true
 	}
 }
@@ -202,7 +238,7 @@ func StaticForwardEstimatorWS(mode coverage.Mode) WSEstimator {
 		if !ok {
 			return 0, false
 		}
-		ws.Builder.Reset(nw.G, cl, mode)
+		ws.Digest(nw.G, cl, mode)
 		nodes := ws.Backbone.StaticNodes(&ws.Builder, cl, backbone.Options{})
 		res := ws.runBcast(nw.G, r.Intn(nw.N()), broadcast.StaticCDSBits{Set: nodes})
 		return float64(res.ForwardCount()), true
@@ -217,7 +253,7 @@ func MOCDSForwardEstimatorWS() WSEstimator {
 		if !ok {
 			return 0, false
 		}
-		ws.Builder.Reset(nw.G, cl, coverage.Hop3)
+		ws.Digest(nw.G, cl, coverage.Hop3)
 		nodes := ws.MOCDS.NodesFrom(&ws.Builder, cl)
 		res := ws.runBcast(nw.G, r.Intn(nw.N()), broadcast.StaticCDSBits{Set: nodes})
 		return float64(res.ForwardCount()), true

@@ -234,18 +234,38 @@ func (g *Grid) Within(id int, radius float64, dst []int) []int {
 	return dst
 }
 
+// Rows returns the number of grid cell rows.
+func (g *Grid) Rows() int { return g.rows }
+
 // Pairs calls fn(u, v) exactly once for every unordered pair of distinct
 // stored points within radius of each other. It sweeps cell pairs over the
 // half neighborhood (E, SW, S, SE), so each candidate pair is distance-
 // tested once — half the work of querying Within for every point. Like
 // Within, radius must not exceed the grid cell size.
 func (g *Grid) Pairs(radius float64, fn func(u, v int)) {
+	g.PairsRows(radius, 0, g.rows, fn)
+}
+
+// PairsRows is Pairs restricted to pairs whose sweep origin lies in cell
+// rows [fromRow, toRow): the same half-neighborhood sweep, anchored at
+// those rows' cells. Every unordered pair is reported by exactly one row —
+// the one holding its first cell in sweep order — so a union of PairsRows
+// calls over a partition of the rows reports exactly the pairs Pairs does.
+// Disjoint row bands only read shared state, which is how the parallel
+// unit-disk construction shards the sweep without locking.
+func (g *Grid) PairsRows(radius float64, fromRow, toRow int, fn func(u, v int)) {
 	if radius > g.cell+1e-9 {
 		panic("geom: query radius exceeds grid cell size")
 	}
+	if fromRow < 0 {
+		fromRow = 0
+	}
+	if toRow > g.rows {
+		toRow = g.rows
+	}
 	r2 := radius * radius
 	half := [4][2]int{{1, 0}, {-1, 1}, {0, 1}, {1, 1}}
-	for cy := 0; cy < g.rows; cy++ {
+	for cy := fromRow; cy < toRow; cy++ {
 		for cx := 0; cx < g.cols; cx++ {
 			a := g.cells[cy*g.cols+cx]
 			if len(a) == 0 {

@@ -1,0 +1,114 @@
+package topology
+
+import (
+	refl "reflect"
+	"testing"
+
+	"clustercast/internal/geom"
+	"clustercast/internal/rng"
+)
+
+// The banded parallel unit-disk build produces the same graph as the
+// sequential sweep, bit for bit, across worker counts, densities and
+// seeds — same RNG consumption, same positions, same CSR.
+func TestBuildParallelEquivalence(t *testing.T) {
+	seq := NewWorkspace()
+	par := NewWorkspace()
+	for _, tc := range []struct {
+		n    int
+		deg  float64
+		seed uint64
+	}{
+		{1, 1, 7}, {2, 1, 7}, {40, 4, 1}, {200, 8, 2}, {500, 18, 3}, {2000, 24, 4},
+	} {
+		cfg := Config{N: tc.n, Bounds: geom.Square(100), AvgDegree: tc.deg}
+		want, err := GenerateWith(cfg, seq, rng.New(tc.seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 4, 8, 16} {
+			par.BuildWorkers = workers
+			got, err := GenerateWith(cfg, par, rng.New(tc.seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !refl.DeepEqual(want.Positions, got.Positions) {
+				t.Fatalf("n=%d workers=%d: positions differ", tc.n, workers)
+			}
+			if want.G.N() != got.G.N() || want.G.M() != got.G.M() {
+				t.Fatalf("n=%d workers=%d: graph shape %d/%d != %d/%d",
+					tc.n, workers, got.G.N(), got.G.M(), want.G.N(), want.G.M())
+			}
+			for v := 0; v < want.G.N(); v++ {
+				if !refl.DeepEqual(want.G.Neighbors(v), got.G.Neighbors(v)) {
+					t.Fatalf("n=%d workers=%d: neighbors of %d differ\nwant %v\ngot  %v",
+						tc.n, workers, v, want.G.Neighbors(v), got.G.Neighbors(v))
+				}
+			}
+		}
+	}
+}
+
+// Fuzz: parallel build vs sequential across (n, density, seed, workers).
+func FuzzBuildParallelAgree(f *testing.F) {
+	f.Add(uint(50), uint(8), uint64(1), uint(4))
+	f.Add(uint(200), uint(16), uint64(9), uint(16))
+	seq := NewWorkspace()
+	par := NewWorkspace()
+	f.Fuzz(func(t *testing.T, n, deg uint, seed uint64, workers uint) {
+		n = 1 + n%300
+		deg = deg % 24
+		workers = 2 + workers%15
+		cfg := Config{N: int(n), Bounds: geom.Square(100), AvgDegree: float64(deg)}
+		want, err := GenerateWith(cfg, seq, rng.New(seed))
+		if err != nil {
+			t.Skip()
+		}
+		par.BuildWorkers = int(workers)
+		got, err := GenerateWith(cfg, par, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < want.G.N(); v++ {
+			if !refl.DeepEqual(want.G.Neighbors(v), got.G.Neighbors(v)) {
+				t.Fatalf("workers=%d: neighbors of %d differ", workers, v)
+			}
+		}
+	})
+}
+
+func benchmarkBuild(b *testing.B, n, workers int) {
+	ws := NewWorkspace()
+	ws.BuildWorkers = workers
+	cfg := Config{N: n, Bounds: geom.Square(100), AvgDegree: 18}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateWith(cfg, ws, rng.New(uint64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelTopology(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		if n > 10000 && testing.Short() {
+			continue
+		}
+		b.Run("n="+itoa(n)+"/sequential", func(b *testing.B) { benchmarkBuild(b, n, 1) })
+		b.Run("n="+itoa(n)+"/banded-w8", func(b *testing.B) { benchmarkBuild(b, n, 8) })
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"clustercast/internal/des"
 	"clustercast/internal/geom"
 	"clustercast/internal/graph"
 	"clustercast/internal/rng"
@@ -19,6 +20,12 @@ import (
 // The Network returned by GenerateWith is owned by the workspace and valid
 // only until the next GenerateWith call on the same workspace.
 type Workspace struct {
+	// BuildWorkers shards the unit-disk sweep and segment sort over this
+	// many goroutines when > 1 (see buildParallel); the assembled graph is
+	// bit-identical to the sequential build for any value. Zero or one
+	// keeps the fully sequential path.
+	BuildWorkers int
+
 	positions []geom.Point
 	grid      geom.Grid
 	edges     []uint64
@@ -28,6 +35,10 @@ type Workspace struct {
 	scratch   *graph.Scratch
 	g         graph.Graph
 	nw        Network
+
+	// Parallel-build state: the row/strip partitioner and per-band arenas.
+	sh    des.Shards
+	bands []buildBand
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on first use.
@@ -128,6 +139,9 @@ func (ws *Workspace) build(positions []geom.Point, bounds geom.Rect, radius floa
 	ws.grid.Reset(bounds, gridCell)
 	for _, p := range positions {
 		ws.grid.Insert(p)
+	}
+	if ws.BuildWorkers > 1 {
+		return ws.buildParallel(positions, radius, ws.BuildWorkers)
 	}
 	// One half-neighborhood sweep distance-tests every candidate pair once;
 	// edges are packed into one slice sized from the Poisson degree
