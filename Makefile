@@ -3,7 +3,7 @@ GO ?= go
 # Baseline the bench-compare target diffs against.
 BENCH_BASELINE ?= BENCH_PR3.json
 
-.PHONY: all ci build vet test test-race bench-smoke bench bench-compare bench-scale bench-batch bench-des bench-build figures trace-smoke faults-smoke
+.PHONY: all ci build vet test test-race bench-smoke bench bench-compare bench-scale bench-batch bench-des bench-build figures trace-smoke faults-smoke telemetry-smoke
 
 all: vet test
 
@@ -100,6 +100,23 @@ trace-smoke:
 	$(GO) run ./cmd/scale -n 500 -d 12 -reps 1 -stages dynamic25 \
 		-trace artifacts/scale-trace.jsonl -manifest artifacts/scale-manifest.json
 	$(GO) run ./cmd/trace artifacts/scale-trace.jsonl
+
+# Live-telemetry smoke: run cmd/scale with the full telemetry bundle — a
+# heartbeat JSONL stream, the HTTP endpoint, and a pre-exit self-scrape of
+# /metrics and /progress (deterministic artifacts; no curl race against the
+# process lifetime) — then schema-validate and digest the heartbeat stream
+# through the inspector. Artifacts land in artifacts/telemetry for CI upload.
+telemetry-smoke:
+	mkdir -p artifacts/telemetry
+	$(GO) run ./cmd/scale -n 2000 -d 12 -reps 2 -stages static25,dynamic25 \
+		-telemetry 127.0.0.1:0 -hb-every 25ms \
+		-heartbeat artifacts/telemetry/heartbeat.jsonl \
+		-telemetry-scrape artifacts/telemetry
+	$(GO) run ./cmd/trace -heartbeat artifacts/telemetry/heartbeat.jsonl
+	grep -q 'clustercast_progress_done{task="scale.reps"} 4' artifacts/telemetry/metrics.prom || \
+		{ echo "telemetry-smoke: scale.reps progress missing from /metrics scrape" >&2; exit 1; }
+	grep -q '^clustercast_scale_dynamic25_heap_high_water_bytes ' artifacts/telemetry/metrics.prom || \
+		{ echo "telemetry-smoke: heap high-water gauge missing from /metrics scrape" >&2; exit 1; }
 
 # Fault-injection smoke: a churn-and-repair manetsim run plus the two
 # failure-sweep figures under the quick replication rule. The CSV checksums

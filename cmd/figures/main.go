@@ -26,6 +26,7 @@ import (
 
 	"clustercast/internal/experiment"
 	"clustercast/internal/obs"
+	"clustercast/internal/obs/live"
 	"clustercast/internal/prof"
 	"clustercast/internal/stats"
 )
@@ -45,6 +46,7 @@ type config struct {
 	cpuProf  string
 	memProf  string
 	manifest string
+	tel      live.Flags
 }
 
 // figureOrder is the canonical listing: the paper's figures first, then
@@ -117,8 +119,9 @@ func runners(cfg config, rule stats.StopRule, ns []int) map[string]func() *exper
 }
 
 // run executes the command against the given writers; exit-worthy problems
-// come back as errors, diagnostics (missing-point causes) go to stderr.
-func run(cfg config, stdout, stderr io.Writer) error {
+// come back as errors, diagnostics (missing-point causes) go to stderr. The
+// named return lets the deferred telemetry shutdown surface its error.
+func run(cfg config, stdout, stderr io.Writer) (retErr error) {
 	if cfg.outDir != "" {
 		if err := os.MkdirAll(cfg.outDir, 0o755); err != nil {
 			return err
@@ -129,11 +132,23 @@ func run(cfg config, stdout, stderr io.Writer) error {
 		}
 	}
 	var manifest *obs.Manifest
-	if cfg.manifest != "" {
+	if cfg.manifest != "" || cfg.tel.Active() {
 		obs.Enable()
 		defer obs.Disable()
 		obs.Default.Reset()
 		obs.ResetStages()
+	}
+	// Telemetry status goes to stderr: stdout carries the figure data.
+	sess, err := cfg.tel.Start(stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); retErr == nil {
+			retErr = cerr
+		}
+	}()
+	if cfg.manifest != "" {
 		manifest = obs.NewManifest("figures")
 		manifest.Seed = cfg.seed
 		manifest.Workers = cfg.workers
@@ -172,8 +187,14 @@ func run(cfg config, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// Figure-level progress on top of the sweep-point meter the experiment
+	// package maintains: heartbeats show both "which figure" and "how far
+	// into its points".
+	progFigs := obs.NewProgress("figures.picks")
+	progFigs.AddTotal(int64(len(picks)))
 	for _, name := range picks {
 		f := all[name]()
+		progFigs.Step()
 		warnMissing(stderr, f)
 		if cfg.outDir != "" {
 			path := filepath.Join(cfg.outDir, f.ID+".csv")
@@ -257,6 +278,7 @@ func main() {
 	flag.StringVar(&cfg.memProf, "memprofile", "", "write a heap profile to this file after the run")
 	flag.StringVar(&cfg.manifest, "manifest", "",
 		"write a run manifest (JSON) to this file (default <out>/manifest.json when -out is set)")
+	cfg.tel.Register(flag.CommandLine)
 	flag.Parse()
 
 	stopProf, err := prof.Start(cfg.cpuProf, cfg.memProf)

@@ -28,6 +28,7 @@ import (
 	"clustercast/internal/graph"
 	"clustercast/internal/marking"
 	"clustercast/internal/obs"
+	"clustercast/internal/obs/live"
 	"clustercast/internal/passive"
 	"clustercast/internal/prof"
 	"clustercast/internal/rng"
@@ -52,6 +53,7 @@ type config struct {
 	memProf   string
 	trace     string
 	manifest  string
+	tel       live.Flags
 }
 
 // desEngine mirrors the -des flag: route the rows through the calendar
@@ -174,14 +176,26 @@ func loadNetwork(cfg *config) (*core.Network, error) {
 	return core.NewRandomNetwork(core.NetworkSpec{N: cfg.n, AvgDegree: cfg.d, Seed: cfg.seed, BuildWorkers: cfg.buildW})
 }
 
-// run executes the command against the given writer.
-func run(cfg config, stdout io.Writer) error {
+// run executes the command against the given writer. The named return lets
+// the deferred telemetry shutdown surface its error.
+func run(cfg config, stdout io.Writer) (retErr error) {
 	var manifest *obs.Manifest
-	if cfg.manifest != "" {
+	if cfg.manifest != "" || cfg.tel.Active() {
 		obs.Enable()
 		defer obs.Disable()
 		obs.Default.Reset()
 		obs.ResetStages()
+	}
+	sess, err := cfg.tel.Start(stdout)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); retErr == nil {
+			retErr = cerr
+		}
+	}()
+	if cfg.manifest != "" {
 		manifest = obs.NewManifest("manetsim")
 		manifest.Seed = cfg.seed
 		manifest.Workers = cfg.workers
@@ -339,6 +353,7 @@ func main() {
 	flag.StringVar(&cfg.trace, "trace", "",
 		"record the broadcast's event stream (JSONL) to this file; requires exactly one -protocols entry")
 	flag.StringVar(&cfg.manifest, "manifest", "", "write a run manifest (JSON) to this file")
+	cfg.tel.Register(flag.CommandLine)
 	flag.Parse()
 
 	if cfg.workers > 0 {

@@ -37,6 +37,7 @@ import (
 	"clustercast/internal/experiment"
 	"clustercast/internal/mocds"
 	"clustercast/internal/obs"
+	"clustercast/internal/obs/live"
 	"clustercast/internal/prof"
 	"clustercast/internal/topology"
 )
@@ -54,6 +55,7 @@ type config struct {
 	manifest string
 	trace    string
 	des      bool
+	tel      live.Flags
 }
 
 func main() {
@@ -72,6 +74,7 @@ func main() {
 	flag.StringVar(&cfg.memProf, "memprofile", "", "write a heap profile to this file")
 	flag.StringVar(&cfg.manifest, "manifest", "", "write a run manifest (JSON) to this file")
 	flag.StringVar(&cfg.trace, "trace", "", "record the first dynamic25 replicate's event stream (JSONL) to this file")
+	cfg.tel.Register(flag.CommandLine)
 	flag.Parse()
 
 	if err := run(cfg, os.Stdout); err != nil {
@@ -121,7 +124,9 @@ func stageSet(workers int, des bool) map[string]stageFunc {
 // tracedStage is the stage whose event stream -trace records.
 const tracedStage = "dynamic25"
 
-func run(cfg config, out io.Writer) error {
+// run executes the configured stages. The named return lets the deferred
+// telemetry shutdown (final heartbeat, self-scrape) surface its error.
+func run(cfg config, out io.Writer) (retErr error) {
 	experiment.SetBuildWorkers(cfg.buildW)
 	stages := stageSet(cfg.workers, cfg.des)
 	var names []string
@@ -155,12 +160,21 @@ func run(cfg config, out io.Writer) error {
 	}
 
 	var manifest *obs.Manifest
-	if cfg.manifest != "" || cfg.trace != "" {
+	if cfg.manifest != "" || cfg.trace != "" || cfg.tel.Active() {
 		obs.Enable()
 		defer obs.Disable()
 		obs.Default.Reset()
 		obs.ResetStages()
 	}
+	sess, err := cfg.tel.Start(out)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); retErr == nil {
+			retErr = cerr
+		}
+	}()
 	if cfg.manifest != "" {
 		manifest = obs.NewManifest("scale")
 		manifest.Seed = cfg.seed
@@ -179,10 +193,15 @@ func run(cfg config, out io.Writer) error {
 	sc := experiment.DefaultScenario(cfg.n, cfg.d, cfg.seed)
 	var clk obs.StageClock
 	var ms0, ms1 runtime.MemStats
+	progReps := obs.NewProgress("scale.reps")
+	progReps.AddTotal(int64(len(names) * cfg.reps))
 	for _, name := range names {
 		st := stages[name]
 		kernelTimes := make([]time.Duration, 0, cfg.reps)
 		var heapHigh uint64 // stage heap high-water mark (HeapInuse after a kernel)
+		// The same high-water as a registry gauge, so it lands in the
+		// manifest counter dump and in live heartbeats, not just stdout.
+		gHeap := obs.NewGauge("scale." + name + ".heap_high_water_bytes")
 		for rep := 0; rep < cfg.reps; rep++ {
 			t0 := time.Now()
 			nw, _, ok := sc.SampleWS(ws, "scale-"+name, rep)
@@ -213,6 +232,8 @@ func run(cfg config, out io.Writer) error {
 			if ms1.HeapInuse > heapHigh {
 				heapHigh = ms1.HeapInuse
 			}
+			gHeap.SetMax(int64(ms1.HeapInuse))
+			progReps.Step()
 			if measured {
 				clk.Add(name+".sample", sample.Nanoseconds())
 				clk.Add(name+".kernel", kernel.Nanoseconds())

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"clustercast/internal/obs"
+	"clustercast/internal/obs/live"
+)
+
+// runHeartbeat inspects a heartbeat JSONL stream recorded with -heartbeat
+// on any driver: it validates the stream (canonical lines, consecutive
+// seq, monotone elapsed), then prints a digest — sampling cadence, memory
+// envelope, final progress, the largest counters and the stage table of
+// the last record.
+func runHeartbeat(path string, stdout io.Writer) error {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	hbs, err := live.ReadHeartbeats(r)
+	if err != nil {
+		return err
+	}
+	if len(hbs) == 0 {
+		return fmt.Errorf("heartbeat stream is empty")
+	}
+	last := hbs[len(hbs)-1]
+	span := time.Duration(last.ElapsedNs - hbs[0].ElapsedNs)
+	var peakHeap uint64
+	peakG := 0
+	for _, hb := range hbs {
+		if hb.HeapInuse > peakHeap {
+			peakHeap = hb.HeapInuse
+		}
+		if hb.Goroutines > peakG {
+			peakG = hb.Goroutines
+		}
+	}
+
+	fmt.Fprintf(stdout, "heartbeats: %d records over %v (validated: canonical, seq 1..%d, monotone)\n",
+		len(hbs), span.Round(time.Millisecond), last.Seq)
+	if len(hbs) > 1 {
+		fmt.Fprintf(stdout, "cadence: %v mean interval\n",
+			(span / time.Duration(len(hbs)-1)).Round(time.Millisecond))
+	}
+	fmt.Fprintf(stdout, "memory: peak heap-in-use %.1f MiB, final total-alloc %.1f MiB, %d GCs, peak goroutines %d\n",
+		float64(peakHeap)/(1<<20), float64(last.TotalAlloc)/(1<<20), last.NumGC, peakG)
+
+	if len(last.Progress) > 0 {
+		fmt.Fprintln(stdout, "\nfinal progress:")
+		for _, p := range last.Progress {
+			if p.Total > 0 {
+				fmt.Fprintf(stdout, "  %-20s %d/%d (%.1f/s)\n", p.Name, p.Done, p.Total, p.Rate)
+			} else {
+				fmt.Fprintf(stdout, "  %-20s %d (%.1f/s)\n", p.Name, p.Done, p.Rate)
+			}
+		}
+	}
+
+	if len(last.Counters) > 0 {
+		top := append([]obs.MetricValue(nil), last.Counters...)
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].Value != top[j].Value {
+				return top[i].Value > top[j].Value
+			}
+			return top[i].Name < top[j].Name
+		})
+		if len(top) > 8 {
+			top = top[:8]
+		}
+		fmt.Fprintf(stdout, "\ntop counters (of %d):\n", len(last.Counters))
+		for _, c := range top {
+			fmt.Fprintf(stdout, "  %-36s %d\n", c.Name, c.Value)
+		}
+	}
+
+	if len(last.Stages) > 0 {
+		fmt.Fprintln(stdout, "\nstages:")
+		fmt.Fprintf(stdout, "  %-24s %8s %14s %14s\n", "stage", "count", "wall", "alloc")
+		for _, s := range last.Stages {
+			fmt.Fprintf(stdout, "  %-24s %8d %14v %12.1fKiB\n",
+				s.Name, s.Count, time.Duration(s.WallNs).Round(time.Microsecond),
+				float64(s.AllocBytes)/(1<<10))
+		}
+	}
+	return nil
+}

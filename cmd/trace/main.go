@@ -5,9 +5,15 @@
 // have been delivered to, every hop's deliveries must come from that hop's
 // transmissions).
 //
+// With -heartbeat it instead inspects a live-telemetry heartbeat stream
+// (JSONL from any driver's -heartbeat flag): the stream is schema-validated
+// (canonical lines, consecutive seq, monotone elapsed) and digested into
+// sampling cadence, memory envelope, progress, top counters and stages.
+//
 // Usage:
 //
 //	trace run.jsonl
+//	trace -heartbeat hb.jsonl
 //	manetsim -n 60 -protocols dynamic-2.5 -trace /dev/stdout | trace -
 package main
 
@@ -178,11 +184,25 @@ func run(path string, stdout io.Writer) error {
 }
 
 func main() {
+	var hbPath string
+	flag.StringVar(&hbPath, "heartbeat", "",
+		"inspect a heartbeat stream (JSONL from a driver's -heartbeat flag) instead of an event trace")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: trace <file.jsonl | ->\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: trace <file.jsonl | -> | trace -heartbeat <file.jsonl | ->\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if hbPath != "" {
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := runHeartbeat(hbPath, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)

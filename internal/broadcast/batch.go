@@ -252,6 +252,12 @@ func (ws *BatchWorkspace) Run(g *graph.Graph, source int, p BatchProtocol, opt B
 	touched := ws.touched[:0]
 	chains := opt.Chains
 	slots := 0
+	// Scalar-equivalent accounting, hoisted so the disabled path costs one
+	// predictable branch per copy: every arrived copy is either a first
+	// delivery or a duplicate (exactly the scalar Workspace bookkeeping),
+	// so the broadcast.* totals of a 64-wide run match 64 scalar runs.
+	measure := obs.Enabled()
+	var copies, delivered, dropped int64
 
 	for t := 0; len(active) > 0; t++ {
 		slots++
@@ -271,6 +277,10 @@ func (ws *BatchWorkspace) Run(g *graph.Graph, source int, p BatchProtocol, opt B
 				arrive := w
 				if chains != nil {
 					arrive &^= chains.LossWord(u, v, t+1)
+				}
+				if measure {
+					copies += int64(bits.OnesCount64(arrive))
+					dropped += int64(bits.OnesCount64(w &^ arrive))
 				}
 				if arrive == 0 {
 					continue
@@ -294,6 +304,9 @@ func (ws *BatchWorkspace) Run(g *graph.Graph, source int, p BatchProtocol, opt B
 				continue
 			}
 			ws.covered.Or(v, neww)
+			if measure {
+				delivered += int64(bits.OnesCount64(neww))
+			}
 			for w := neww; w != 0; w &= w - 1 {
 				r := bits.TrailingZeros64(w)
 				res.Received[r]++
@@ -314,6 +327,20 @@ func (ws *BatchWorkspace) Run(g *graph.Graph, source int, p BatchProtocol, opt B
 	ws.active, ws.spare, ws.touched = active[:0], spare[:0], touched[:0]
 	mBatchRuns.Inc()
 	mBatchSlots.Add(int64(slots))
+	if measure {
+		var tx, rx int64
+		for r := 0; r < graph.LaneCount; r++ {
+			tx += int64(res.Forwards[r])
+			rx += int64(res.Received[r])
+		}
+		mRuns.Add(graph.LaneCount)
+		mTransmissions.Add(tx)
+		mDeliveries.Add(rx - graph.LaneCount)
+		mDuplicates.Add(copies - delivered)
+		if chains != nil {
+			mFaultDrops.Add(dropped)
+		}
+	}
 	return res
 }
 

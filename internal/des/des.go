@@ -33,10 +33,15 @@ import "clustercast/internal/obs"
 // Package-level counters, folded once per run by Wheel.FoldStats (so the
 // event loop itself never touches the atomics).
 var (
-	mSlots   = obs.NewCounter("des.slots")          // occupied slots drained
-	mEvents  = obs.NewCounter("des.events")         // events dequeued
-	mSkipped = obs.NewCounter("des.slots_skipped")  // idle slots jumped over
-	mFar     = obs.NewCounter("des.far_events")     // events parked beyond the wheel window
-	mFanouts = obs.NewCounter("des.shard_fanouts")  // sharded exchange rounds
-	mMail    = obs.NewCounter("des.shard_messages") // cross-shard messages exchanged
+	mSlots    = obs.NewCounter("des.slots")                // occupied slots drained
+	mEvents   = obs.NewCounter("des.events")               // events dequeued
+	mSkipped  = obs.NewCounter("des.slots_skipped")        // idle slots jumped over
+	mFar      = obs.NewCounter("des.far_events")           // events parked beyond the wheel window
+	mPromoted = obs.NewCounter("des.far_promoted")         // far events promoted back into buckets
+	mFanouts  = obs.NewCounter("des.shard_fanouts")        // sharded exchange rounds
+	mMail     = obs.NewCounter("des.shard_messages")       // messages exchanged (all mailboxes)
+	mCross    = obs.NewCounter("des.shard_cross_messages") // messages that crossed a shard boundary
+	// mHighWater tracks the peak number of simultaneously pending events
+	// any wheel reached — the calendar's working-set health signal.
+	mHighWater = obs.NewGauge("des.wheel_high_water")
 )

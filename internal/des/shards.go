@@ -42,7 +42,12 @@ type Shards struct {
 	idx   []int    // strip partitioner scratch: node ids sorted by x
 	next  atomic.Int64
 
-	sFanouts, sMail int64
+	// localN[d] is the self-mail count (boxes[d][d]) of the latest deliver
+	// round. deliver(d) is the slot's single writer, so the parallel
+	// consume phase can fill it race-free; the cross-shard tally happens
+	// after the barrier, on the caller's goroutine, like sMail.
+	localN                  []int
+	sFanouts, sMail, sCross int64
 }
 
 // K returns the shard count.
@@ -106,6 +111,7 @@ func (sh *Shards) setup(n, k int) {
 			sh.boxes[s] = make([][]Mail, k)
 		}
 		sh.cat = make([][]Mail, k)
+		sh.localN = make([]int, k)
 		sh.emits = make([]func(int, Mail), k)
 		for s := range sh.emits {
 			box := sh.boxes[s]
@@ -147,6 +153,7 @@ func (sh *Shards) Fanout(workers int, produce func(src int, emit func(dst int, m
 	}
 	for d := 0; d < k; d++ {
 		sh.sMail += int64(len(sh.cat[d]))
+		sh.sCross += int64(len(sh.cat[d]) - sh.localN[d])
 	}
 }
 
@@ -181,6 +188,7 @@ func (sh *Shards) Range(s int) (lo, hi int) {
 // order into the pooled buffer, emptying them for the next round.
 func (sh *Shards) deliver(d int) []Mail {
 	buf := sh.cat[d][:0]
+	sh.localN[d] = len(sh.boxes[d][d])
 	for s := 0; s < sh.k; s++ {
 		buf = append(buf, sh.boxes[s][d]...)
 		sh.boxes[s][d] = sh.boxes[s][d][:0]
@@ -216,5 +224,6 @@ func (sh *Shards) each(workers int, f func(s int)) {
 func (sh *Shards) FoldStats() {
 	mFanouts.Add(sh.sFanouts)
 	mMail.Add(sh.sMail)
-	sh.sFanouts, sh.sMail = 0, 0
+	mCross.Add(sh.sCross)
+	sh.sFanouts, sh.sMail, sh.sCross = 0, 0, 0
 }

@@ -44,7 +44,7 @@ type Wheel[E any] struct {
 
 	// Per-run stats, folded into the des.* counters by FoldStats so the
 	// event loop never touches atomics.
-	sSlots, sEvents, sSkipped, sFar int64
+	sSlots, sEvents, sSkipped, sFar, sProm, sHigh int64
 }
 
 // farEvent is an event parked beyond the wheel window, ordered by (t,
@@ -114,6 +114,9 @@ func (w *Wheel[E]) Push(t int, e E) {
 		w.sFar++
 	}
 	w.pending++
+	if int64(w.pending) > w.sHigh {
+		w.sHigh = int64(w.pending)
+	}
 }
 
 // OpenSlot advances to the earliest pending slot, promotes due far
@@ -180,13 +183,16 @@ func (w *Wheel[E]) CloseSlot() {
 }
 
 // FoldStats folds the run's wheel statistics into the des.* counters and
-// zeroes them. Engines call it once per run, outside the event loop.
+// zeroes them. Engines call it once per run, outside the event loop. The
+// occupancy high-water folds as a process-wide maximum, not a sum.
 func (w *Wheel[E]) FoldStats() {
 	mSlots.Add(w.sSlots)
 	mEvents.Add(w.sEvents)
 	mSkipped.Add(w.sSkipped)
 	mFar.Add(w.sFar)
-	w.sSlots, w.sEvents, w.sSkipped, w.sFar = 0, 0, 0, 0
+	mPromoted.Add(w.sProm)
+	mHighWater.SetMax(w.sHigh)
+	w.sSlots, w.sEvents, w.sSkipped, w.sFar, w.sProm, w.sHigh = 0, 0, 0, 0, 0, 0
 }
 
 // promote moves far events whose slot entered the window into their
@@ -198,6 +204,7 @@ func (w *Wheel[E]) promote() {
 		p := fe.t & w.mask
 		w.buckets[p] = append(w.buckets[p], fe.e)
 		w.occ[p>>6] |= 1 << uint(p&63)
+		w.sProm++
 	}
 }
 

@@ -1,0 +1,144 @@
+package live
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Flags is the telemetry flag bundle every driver wires identically:
+//
+//	-telemetry addr        serve /metrics, /progress, /stages, pprof
+//	-heartbeat file        stream heartbeat JSONL records to file
+//	-hb-every duration     heartbeat sampling interval
+//	-telemetry-scrape dir  self-scrape /metrics + /progress into dir on exit
+//
+// The scrape flag exists for CI smoke tests: instead of racing an external
+// curl against the process lifetime, the driver scrapes its own endpoints
+// right before shutdown, so `make telemetry-smoke` gets deterministic
+// artifacts.
+type Flags struct {
+	Addr      string
+	Heartbeat string
+	Every     time.Duration
+	ScrapeDir string
+}
+
+// Register installs the telemetry flags on fs (the drivers pass
+// flag.CommandLine).
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Addr, "telemetry", "",
+		"serve live telemetry (/metrics, /progress, /stages, /debug/pprof) on this address (e.g. 127.0.0.1:9090; empty = off)")
+	fs.StringVar(&f.Heartbeat, "heartbeat", "",
+		"stream heartbeat records (JSONL) to this file while the run executes")
+	fs.DurationVar(&f.Every, "hb-every", DefaultInterval, "heartbeat sampling interval")
+	fs.StringVar(&f.ScrapeDir, "telemetry-scrape", "",
+		"scrape this run's own /metrics and /progress into this directory before exit (requires -telemetry)")
+}
+
+// Active reports whether any telemetry output was requested — drivers use
+// it to decide whether to flip obs.Enable alongside -manifest/-trace.
+func (f *Flags) Active() bool {
+	return f.Addr != "" || f.Heartbeat != "" || f.ScrapeDir != ""
+}
+
+// Session is the running telemetry for one driver invocation. A nil
+// session (telemetry off) is safe to Close.
+type Session struct {
+	Sampler   *Sampler
+	Server    *Server
+	scrapeDir string
+	out       io.Writer
+}
+
+// Start brings up whatever the flags asked for. The caller is responsible
+// for having obs.Enable()d first (the drivers do this in the same block
+// that handles -manifest). Progress lines go to out (the driver's status
+// stream); pass nil to silence them.
+func (f *Flags) Start(out io.Writer) (*Session, error) {
+	if !f.Active() {
+		return nil, nil
+	}
+	if f.ScrapeDir != "" && f.Addr == "" {
+		return nil, fmt.Errorf("live: -telemetry-scrape requires -telemetry")
+	}
+	s := &Session{scrapeDir: f.ScrapeDir, out: out}
+	if f.Addr != "" {
+		srv, err := Serve(f.Addr, nil)
+		if err != nil {
+			return nil, err
+		}
+		s.Server = srv
+		if out != nil {
+			fmt.Fprintf(out, "telemetry: serving http://%s/metrics\n", srv.Addr())
+		}
+	}
+	if f.Heartbeat != "" {
+		smp, err := StartFile(f.Heartbeat, Options{Interval: f.Every})
+		if err != nil {
+			if s.Server != nil {
+				s.Server.Close()
+			}
+			return nil, err
+		}
+		s.Sampler = smp
+		if out != nil {
+			fmt.Fprintf(out, "telemetry: heartbeats -> %s (every %v)\n", f.Heartbeat, f.Every)
+		}
+	}
+	return s, nil
+}
+
+// scrape GETs one of the session's own endpoints into dir/name.
+func (s *Session) scrape(path, name string) error {
+	url := "http://" + s.Server.Addr() + path
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("live: scraping %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("live: scraping %s: status %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("live: scraping %s: %w", url, err)
+	}
+	return os.WriteFile(filepath.Join(s.scrapeDir, name), body, 0o644)
+}
+
+// Close runs the end-of-run sequence: self-scrape the HTTP endpoints if
+// requested, stop the server, then stop the sampler (which writes the
+// final heartbeat). Nil-safe.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	var err error
+	if s.scrapeDir != "" && s.Server != nil {
+		if mkerr := os.MkdirAll(s.scrapeDir, 0o755); mkerr != nil {
+			err = mkerr
+		} else if serr := s.scrape("/metrics", "metrics.prom"); serr != nil {
+			err = serr
+		} else if perr := s.scrape("/progress", "progress.json"); perr != nil {
+			err = perr
+		} else if s.out != nil {
+			fmt.Fprintf(s.out, "telemetry: scraped /metrics and /progress into %s\n", s.scrapeDir)
+		}
+	}
+	if s.Server != nil {
+		if cerr := s.Server.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if s.Sampler != nil {
+		if serr := s.Sampler.Stop(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}

@@ -1,0 +1,269 @@
+// Package live is the streaming half of the obs layer: a background
+// sampler that folds registry snapshots, merged stage clocks, runtime
+// memory stats and progress meters into append-only JSONL heartbeat
+// records — the manetsimd wire format — plus an optional HTTP server
+// exposing the same state as /metrics (Prometheus text), /progress and
+// /stages (JSON), and net/http/pprof.
+//
+// The package follows the obs zero-overhead contract from the outside:
+// nothing here runs unless a driver asked for telemetry, and the
+// instrumented kernels it observes never know whether a sampler is
+// attached — they only ever touch the atomic obs primitives.
+package live
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"time"
+
+	"clustercast/internal/obs"
+)
+
+// Heartbeat is one streamed telemetry record: where the run is (seq,
+// elapsed), what the process looks like (goroutines, heap), and what the
+// registry has accumulated so far (progress, counters, gauges, stages).
+// The JSONL rendering is hand-built with a fixed field order so streams
+// are golden-file stable; every field is always present.
+type Heartbeat struct {
+	Seq        int64              `json:"seq"`
+	ElapsedNs  int64              `json:"elapsed_ns"`
+	Goroutines int                `json:"goroutines"`
+	HeapAlloc  uint64             `json:"heap_alloc"`
+	HeapInuse  uint64             `json:"heap_inuse"`
+	HeapSys    uint64             `json:"heap_sys"`
+	TotalAlloc uint64             `json:"total_alloc"`
+	NumGC      uint32             `json:"num_gc"`
+	Progress   []obs.ProgressView `json:"progress"`
+	Counters   []obs.MetricValue  `json:"counters"`
+	Gauges     []obs.MetricValue  `json:"gauges"`
+	Stages     []obs.StageStat    `json:"stages"`
+}
+
+// Collect builds a heartbeat from the registry, the process-wide stage
+// accumulator, and a MemStats read. It is the expensive half of a sample
+// (ReadMemStats stops the world briefly), so callers only invoke it at
+// the sampling interval, never on a kernel path.
+func Collect(reg *obs.Registry, seq int64, start, now time.Time) Heartbeat {
+	if reg == nil {
+		reg = obs.Default
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	snap := reg.Snapshot()
+	return Heartbeat{
+		Seq:        seq,
+		ElapsedNs:  now.Sub(start).Nanoseconds(),
+		Goroutines: runtime.NumGoroutine(),
+		HeapAlloc:  ms.HeapAlloc,
+		HeapInuse:  ms.HeapInuse,
+		HeapSys:    ms.HeapSys,
+		TotalAlloc: ms.TotalAlloc,
+		NumGC:      ms.NumGC,
+		Progress:   reg.ProgressSnapshot(now),
+		Counters:   snap.Counters,
+		Gauges:     snap.Gauges,
+		Stages:     obs.StageSnapshot(),
+	}
+}
+
+// appendFloat renders floats at fixed three-decimal precision so records
+// round-trip exactly through encoding/json (parse then re-encode yields
+// the same bytes — the canonical-form check ParseLine relies on).
+func appendFloat(dst []byte, v float64) []byte {
+	return strconv.AppendFloat(dst, v, 'f', 3, 64)
+}
+
+// AppendJSONL appends the heartbeat's canonical JSONL rendering
+// (including the trailing newline) to dst. Field order is fixed by
+// construction; empty sections render as [] so the schema never varies.
+func (hb *Heartbeat) AppendJSONL(dst []byte) []byte {
+	dst = append(dst, `{"seq":`...)
+	dst = strconv.AppendInt(dst, hb.Seq, 10)
+	dst = append(dst, `,"elapsed_ns":`...)
+	dst = strconv.AppendInt(dst, hb.ElapsedNs, 10)
+	dst = append(dst, `,"goroutines":`...)
+	dst = strconv.AppendInt(dst, int64(hb.Goroutines), 10)
+	dst = append(dst, `,"heap_alloc":`...)
+	dst = strconv.AppendUint(dst, hb.HeapAlloc, 10)
+	dst = append(dst, `,"heap_inuse":`...)
+	dst = strconv.AppendUint(dst, hb.HeapInuse, 10)
+	dst = append(dst, `,"heap_sys":`...)
+	dst = strconv.AppendUint(dst, hb.HeapSys, 10)
+	dst = append(dst, `,"total_alloc":`...)
+	dst = strconv.AppendUint(dst, hb.TotalAlloc, 10)
+	dst = append(dst, `,"num_gc":`...)
+	dst = strconv.AppendUint(dst, uint64(hb.NumGC), 10)
+	dst = append(dst, `,"progress":[`...)
+	for i, p := range hb.Progress {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, `{"name":`...)
+		dst = strconv.AppendQuote(dst, p.Name)
+		dst = append(dst, `,"done":`...)
+		dst = strconv.AppendInt(dst, p.Done, 10)
+		dst = append(dst, `,"total":`...)
+		dst = strconv.AppendInt(dst, p.Total, 10)
+		dst = append(dst, `,"rate":`...)
+		dst = appendFloat(dst, p.Rate)
+		dst = append(dst, `,"eta_s":`...)
+		dst = appendFloat(dst, p.ETASeconds)
+		dst = append(dst, '}')
+	}
+	dst = append(dst, `],"counters":[`...)
+	dst = appendMetrics(dst, hb.Counters)
+	dst = append(dst, `],"gauges":[`...)
+	dst = appendMetrics(dst, hb.Gauges)
+	dst = append(dst, `],"stages":[`...)
+	for i, s := range hb.Stages {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, `{"name":`...)
+		dst = strconv.AppendQuote(dst, s.Name)
+		dst = append(dst, `,"count":`...)
+		dst = strconv.AppendInt(dst, s.Count, 10)
+		dst = append(dst, `,"wall_ns":`...)
+		dst = strconv.AppendInt(dst, s.WallNs, 10)
+		dst = append(dst, `,"alloc_bytes":`...)
+		dst = strconv.AppendInt(dst, s.AllocBytes, 10)
+		dst = append(dst, '}')
+	}
+	dst = append(dst, `]}`...)
+	dst = append(dst, '\n')
+	return dst
+}
+
+// hbWire mirrors Heartbeat for parsing without omitempty surprises: the
+// stage alloc_bytes field is always rendered here even when obs elides it
+// from manifests.
+type hbWire struct {
+	Seq        int64             `json:"seq"`
+	ElapsedNs  int64             `json:"elapsed_ns"`
+	Goroutines int               `json:"goroutines"`
+	HeapAlloc  uint64            `json:"heap_alloc"`
+	HeapInuse  uint64            `json:"heap_inuse"`
+	HeapSys    uint64            `json:"heap_sys"`
+	TotalAlloc uint64            `json:"total_alloc"`
+	NumGC      uint32            `json:"num_gc"`
+	Progress   []progressWire    `json:"progress"`
+	Counters   []obs.MetricValue `json:"counters"`
+	Gauges     []obs.MetricValue `json:"gauges"`
+	Stages     []stageWire       `json:"stages"`
+}
+
+type progressWire struct {
+	Name       string  `json:"name"`
+	Done       int64   `json:"done"`
+	Total      int64   `json:"total"`
+	Rate       float64 `json:"rate"`
+	ETASeconds float64 `json:"eta_s"`
+}
+
+type stageWire struct {
+	Name       string `json:"name"`
+	Count      int64  `json:"count"`
+	WallNs     int64  `json:"wall_ns"`
+	AllocBytes int64  `json:"alloc_bytes"`
+}
+
+// ParseLine schema-validates one heartbeat JSONL line: it must decode
+// with no unknown fields, and its canonical re-rendering must reproduce
+// the input bytes exactly — which pins field order, field presence, and
+// the fixed-precision float format all at once.
+func ParseLine(line []byte) (Heartbeat, error) {
+	var w hbWire
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return Heartbeat{}, fmt.Errorf("live: heartbeat: %w", err)
+	}
+	hb := Heartbeat{
+		Seq:        w.Seq,
+		ElapsedNs:  w.ElapsedNs,
+		Goroutines: w.Goroutines,
+		HeapAlloc:  w.HeapAlloc,
+		HeapInuse:  w.HeapInuse,
+		HeapSys:    w.HeapSys,
+		TotalAlloc: w.TotalAlloc,
+		NumGC:      w.NumGC,
+	}
+	for _, p := range w.Progress {
+		hb.Progress = append(hb.Progress, obs.ProgressView{
+			Name: p.Name, Done: p.Done, Total: p.Total, Rate: p.Rate, ETASeconds: p.ETASeconds,
+		})
+	}
+	hb.Counters = w.Counters
+	hb.Gauges = w.Gauges
+	for _, s := range w.Stages {
+		hb.Stages = append(hb.Stages, obs.StageStat{
+			Name: s.Name, Count: s.Count, WallNs: s.WallNs, AllocBytes: s.AllocBytes,
+		})
+	}
+	canon := hb.AppendJSONL(nil)
+	if !bytes.Equal(bytes.TrimRight(canon, "\n"), bytes.TrimRight(line, "\n")) {
+		return Heartbeat{}, fmt.Errorf("live: heartbeat line is not in canonical form (field order/presence mismatch)")
+	}
+	if hb.Seq < 1 {
+		return Heartbeat{}, fmt.Errorf("live: heartbeat seq %d < 1", hb.Seq)
+	}
+	if hb.ElapsedNs < 0 {
+		return Heartbeat{}, fmt.Errorf("live: heartbeat elapsed_ns %d < 0", hb.ElapsedNs)
+	}
+	if hb.Goroutines < 1 {
+		return Heartbeat{}, fmt.Errorf("live: heartbeat goroutines %d < 1", hb.Goroutines)
+	}
+	return hb, nil
+}
+
+// ReadHeartbeats parses and validates a heartbeat JSONL stream: every
+// line canonical, seq consecutive from 1, elapsed_ns non-decreasing.
+// Blank lines are skipped; any violation is an error naming its line.
+func ReadHeartbeats(r io.Reader) ([]Heartbeat, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	var out []Heartbeat
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		hb, err := ParseLine(raw)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if want := int64(len(out) + 1); hb.Seq != want {
+			return nil, fmt.Errorf("line %d: heartbeat seq %d, want %d", line, hb.Seq, want)
+		}
+		if n := len(out); n > 0 && hb.ElapsedNs < out[n-1].ElapsedNs {
+			return nil, fmt.Errorf("line %d: elapsed_ns went backwards (%d after %d)", line, hb.ElapsedNs, out[n-1].ElapsedNs)
+		}
+		out = append(out, hb)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("live: reading heartbeats: %w", err)
+	}
+	return out, nil
+}
+
+// appendMetrics renders one counter/gauge section body.
+func appendMetrics(dst []byte, ms []obs.MetricValue) []byte {
+	for i, m := range ms {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, `{"name":`...)
+		dst = strconv.AppendQuote(dst, m.Name)
+		dst = append(dst, `,"value":`...)
+		dst = strconv.AppendInt(dst, m.Value, 10)
+		dst = append(dst, '}')
+	}
+	return dst
+}

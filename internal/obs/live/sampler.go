@@ -1,0 +1,151 @@
+package live
+
+import (
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"clustercast/internal/obs"
+)
+
+// DefaultInterval is the sampling cadence when the caller doesn't pick
+// one: one heartbeat per second keeps hour-long sweeps to a few thousand
+// lines while still resolving per-stage transitions.
+const DefaultInterval = time.Second
+
+// Options configures a Sampler.
+type Options struct {
+	// Registry to snapshot; nil selects obs.Default.
+	Registry *obs.Registry
+	// Interval between heartbeats; <= 0 selects DefaultInterval.
+	Interval time.Duration
+	// Now overrides the clock (tests); nil selects time.Now.
+	Now func() time.Time
+}
+
+// Sampler periodically collects a Heartbeat and appends its JSONL
+// rendering to a writer. It owns a background goroutine between Start and
+// Stop; Stop always writes one final heartbeat so short runs (or runs
+// faster than one interval) still produce a complete record of their end
+// state. All writes are serialized, and the line buffer is reused across
+// samples.
+type Sampler struct {
+	mu     sync.Mutex
+	w      io.Writer
+	closer io.Closer
+	reg    *obs.Registry
+	every  time.Duration
+	now    func() time.Time
+	start  time.Time
+	seq    int64
+	buf    []byte
+	err    error
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSampler returns a sampler writing to w. It does not start the
+// background goroutine; call Start, or drive Sample directly in tests.
+func NewSampler(w io.Writer, opt Options) *Sampler {
+	s := &Sampler{
+		w:     w,
+		reg:   opt.Registry,
+		every: opt.Interval,
+		now:   opt.Now,
+	}
+	if s.reg == nil {
+		s.reg = obs.Default
+	}
+	if s.every <= 0 {
+		s.every = DefaultInterval
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	s.start = s.now()
+	return s
+}
+
+// StartFile opens (creating or truncating) path, returns a started
+// sampler appending heartbeats to it. Stop closes the file.
+func StartFile(path string, opt Options) (*Sampler, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s := NewSampler(f, opt)
+	s.closer = f
+	s.Start()
+	return s, nil
+}
+
+// Sample collects and writes one heartbeat now. Safe to call concurrently
+// with the background loop; the first write error sticks and is returned
+// from Stop.
+func (s *Sampler) Sample() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.seq++
+	hb := Collect(s.reg, s.seq, s.start, s.now())
+	s.buf = hb.AppendJSONL(s.buf[:0])
+	if _, err := s.w.Write(s.buf); err != nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Start launches the background sampling loop. Calling Start twice is a
+// no-op until the first loop is stopped.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.loop(s.stop, s.done)
+}
+
+func (s *Sampler) loop(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(s.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.Sample()
+		}
+	}
+}
+
+// Stop halts the background loop, writes one final heartbeat, closes the
+// underlying file if StartFile opened one, and returns the first error
+// any write hit. Idempotent.
+func (s *Sampler) Stop() error {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	err := s.Sample()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closer != nil {
+		if cerr := s.closer.Close(); err == nil {
+			err = cerr
+		}
+		s.closer = nil
+	}
+	return err
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing metric with an atomic,
@@ -59,6 +60,21 @@ func (g *Gauge) Add(delta int64) {
 		return
 	}
 	g.v.Add(delta)
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — the
+// high-water-mark shape (wheel occupancy, per-stage heap peaks). No-op
+// when disabled or g is nil.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Value returns the last recorded value.
@@ -123,6 +139,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	progress map[string]*Progress
 }
 
 // NewRegistry returns an empty registry.
@@ -131,6 +148,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		progress: make(map[string]*Progress),
 	}
 }
 
@@ -148,6 +166,9 @@ func NewGauge(name string) *Gauge { return Default.Gauge(name) }
 func NewHistogram(name string, bounds []int64) *Histogram {
 	return Default.Histogram(name, bounds)
 }
+
+// NewProgress registers (or returns the existing) progress meter in Default.
+func NewProgress(name string) *Progress { return Default.Progress(name) }
 
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
@@ -189,6 +210,18 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	return h
 }
 
+// Progress returns the named progress meter, creating it on first use.
+func (r *Registry) Progress(name string) *Progress {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := r.progress[name]
+	if p == nil {
+		p = &Progress{name: name}
+		r.progress[name] = p
+	}
+	return p
+}
+
 // Reset zeroes every registered metric, keeping the registrations (and the
 // pointers instrumented code holds) intact. CLIs call it before a
 // manifested run so the snapshot covers exactly that run.
@@ -207,6 +240,9 @@ func (r *Registry) Reset() {
 		for i := range h.counts {
 			h.counts[i].Store(0)
 		}
+	}
+	for _, p := range r.progress {
+		p.reset()
 	}
 }
 
@@ -273,4 +309,23 @@ func (r *Registry) Snapshot() Snapshot {
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 	return s
+}
+
+// ProgressSnapshot exports every registered progress meter with at least
+// one completed unit or a known total, sorted by name, as of now. Kept
+// separate from Snapshot so run manifests (point-in-time provenance) do
+// not grow rate/ETA fields that change between otherwise equal runs.
+func (r *Registry) ProgressSnapshot(now time.Time) []ProgressView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []ProgressView
+	for _, p := range r.progress {
+		v := p.View(now)
+		if v.Done == 0 && v.Total == 0 {
+			continue
+		}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }

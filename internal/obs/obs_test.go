@@ -234,7 +234,7 @@ func TestReadJSONLErrors(t *testing.T) {
 }
 
 func TestKindAndRuleParseInverse(t *testing.T) {
-	for k := EvSend; k <= EvCollision; k++ {
+	for k := EvSend; k <= EvStall; k++ {
 		got, err := ParseEventKind(k.String())
 		if err != nil || got != k {
 			t.Fatalf("kind %v: parse(%q) = %v, %v", k, k.String(), got, err)

@@ -36,6 +36,14 @@ const (
 	// EvRepair: the backbone repair pass re-ran clusterhead Node's gateway
 	// selection at time T (Peer is the number of gateways selected).
 	EvRepair
+	// EvRetransmit: reliable-broadcast sender Node re-sent its packet in
+	// retransmission round T (Peer is the number of uncovered neighbors
+	// that triggered the retry).
+	EvRetransmit
+	// EvStall: the reliable-broadcast retransmission schedule stalled in
+	// round T — every pending sender was backing off or down — and the run
+	// ended Degraded (Node is the count of nodes still uncovered).
+	EvStall
 )
 
 // kindNames is the canonical wire spelling of each kind.
@@ -50,6 +58,8 @@ var kindNames = [...]string{
 	EvNodeCrash:     "node-crash",
 	EvNodeRecover:   "node-recover",
 	EvRepair:        "backbone-repair",
+	EvRetransmit:    "retransmit",
+	EvStall:         "stall",
 }
 
 // String returns the wire spelling of the kind.
@@ -271,6 +281,24 @@ func (t *Tracer) Repair(head, gateways int) {
 		return
 	}
 	t.record(Event{T: t.now, Kind: EvRepair, Node: head, Peer: gateways})
+}
+
+// Retransmit records reliable sender node re-sending its packet in
+// retransmission round tm, triggered by uncovered pending neighbors.
+func (t *Tracer) Retransmit(tm, node, uncovered int) {
+	if t == nil {
+		return
+	}
+	t.record(Event{T: tm, Kind: EvRetransmit, Node: node, Peer: uncovered})
+}
+
+// Stall records the reliable retransmission schedule stalling in round tm
+// with uncovered nodes still missing the packet (the Degraded outcome).
+func (t *Tracer) Stall(tm, uncovered int) {
+	if t == nil {
+		return
+	}
+	t.record(Event{T: tm, Kind: EvStall, Node: uncovered, Peer: -1})
 }
 
 // Len returns the number of retained events.

@@ -1,0 +1,145 @@
+package reliable
+
+import (
+	"testing"
+
+	"clustercast/internal/faults"
+	"clustercast/internal/obs"
+)
+
+// counterDelta runs f and returns how much each named reliable.* counter
+// moved (the Default registry is shared across the test binary, so tests
+// assert deltas, never absolutes).
+func counterDelta(t *testing.T, names []string, f func()) map[string]int64 {
+	t.Helper()
+	before := make(map[string]int64, len(names))
+	for _, n := range names {
+		before[n] = obs.Default.Counter(n).Value()
+	}
+	obs.Enable()
+	defer obs.Disable()
+	f()
+	out := make(map[string]int64, len(names))
+	for _, n := range names {
+		out[n] = obs.Default.Counter(n).Value() - before[n]
+	}
+	return out
+}
+
+func TestObsCountersUnderLoss(t *testing.T) {
+	g := paperGraph()
+	tree, _ := buildTree(t, g, 0)
+	d := counterDelta(t, []string{
+		"reliable.runs", "reliable.transmissions", "reliable.acks",
+		"reliable.retransmissions", "reliable.retransmission_rounds",
+	}, func() {
+		if _, err := Run(g, tree, 0, Config{Loss: 0.4, Seed: 11}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if d["reliable.runs"] != 1 {
+		t.Fatalf("runs delta = %d", d["reliable.runs"])
+	}
+	if d["reliable.transmissions"] == 0 || d["reliable.acks"] == 0 {
+		t.Fatalf("traffic counters empty: %+v", d)
+	}
+	if d["reliable.retransmissions"] == 0 || d["reliable.retransmission_rounds"] == 0 {
+		t.Fatalf("40%% loss produced no retransmissions: %+v", d)
+	}
+	if d["reliable.retransmission_rounds"] > d["reliable.retransmissions"] {
+		t.Fatalf("more retransmission rounds than retransmissions: %+v", d)
+	}
+}
+
+func TestObsDegradedAndStallTrace(t *testing.T) {
+	g := paperGraph()
+	tree, _ := buildTree(t, g, 0)
+	spec := faults.Spec{Partitions: []faults.Partition{
+		{Start: 0, End: 1 << 30, Vertical: true, Coord: 0.5},
+	}}
+	o := faults.New(spec, g.N())
+	o.SetPositions(positionsSplit(g.N(), 0))
+	tr := obs.NewTracer(0)
+	d := counterDelta(t, []string{"reliable.degraded", "reliable.backoff_waits"}, func() {
+		res, err := Run(g, tree, 0, Config{Faults: o, MaxRounds: 5000, Tracer: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Degraded {
+			t.Fatalf("full partition must degrade: %+v", res)
+		}
+	})
+	if d["reliable.degraded"] != 1 {
+		t.Fatalf("degraded delta = %d", d["reliable.degraded"])
+	}
+	stalls := 0
+	for _, ev := range tr.Events() {
+		if ev.Kind == obs.EvStall {
+			stalls++
+			if ev.Node < 1 {
+				t.Fatalf("stall event with no uncovered nodes: %+v", ev)
+			}
+		}
+	}
+	if stalls != 1 {
+		t.Fatalf("got %d stall events, want 1", stalls)
+	}
+}
+
+func TestObsFastForwardJumps(t *testing.T) {
+	g := paperGraph()
+	tree, _ := buildTree(t, g, 0)
+	spec := faults.Spec{Partitions: []faults.Partition{
+		{Start: 0, End: 40, Vertical: true, Coord: 0.5},
+	}}
+	o := faults.New(spec, g.N())
+	o.SetPositions(positionsSplit(g.N(), 0))
+	d := counterDelta(t, []string{
+		"reliable.fastforward_jumps", "reliable.fastforward_rounds", "reliable.backoff_waits",
+	}, func() {
+		res, err := Run(g, tree, 0, Config{Faults: o})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Delivered {
+			t.Fatalf("outage must be ridden out: %+v", res)
+		}
+	})
+	if d["reliable.fastforward_jumps"] == 0 {
+		t.Fatal("40-round outage took no fast-forward jumps")
+	}
+	if d["reliable.fastforward_rounds"] < d["reliable.fastforward_jumps"] {
+		t.Fatalf("jumps skipped fewer rounds than jumps taken: %+v", d)
+	}
+}
+
+func TestObsRetransmitTraceEvents(t *testing.T) {
+	g := paperGraph()
+	tree, _ := buildTree(t, g, 0)
+	tr := obs.NewTracer(0)
+	res, err := Run(g, tree, 0, Config{Loss: 0.4, Seed: 11, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retrans := 0
+	for _, ev := range tr.Events() {
+		if ev.Kind == obs.EvRetransmit {
+			retrans++
+			if ev.Peer < 1 {
+				t.Fatalf("retransmit with no outstanding peers: %+v", ev)
+			}
+		}
+	}
+	if retrans == 0 {
+		t.Fatal("no retransmit events under 40% loss")
+	}
+	// A tracer attaches the measuring path even with obs disabled; the
+	// result must not change versus the unobserved run.
+	bare, err := Run(g, tree, 0, Config{Loss: 0.4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *bare != *res {
+		t.Fatalf("instrumentation changed the result: %+v vs %+v", bare, res)
+	}
+}

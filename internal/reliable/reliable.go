@@ -21,7 +21,23 @@ import (
 	"clustercast/internal/faults"
 	"clustercast/internal/fwdtree"
 	"clustercast/internal/graph"
+	"clustercast/internal/obs"
 	"clustercast/internal/rng"
+)
+
+// Retransmission-engine metrics, accumulated in per-run locals and folded
+// once per Run (the engines' fold-then-Add discipline: the round loop
+// never touches atomics). All zero-cost when obs is disabled.
+var (
+	mRuns          = obs.NewCounter("reliable.runs")
+	mTransmissions = obs.NewCounter("reliable.transmissions")
+	mAcks          = obs.NewCounter("reliable.acks")
+	mRetrans       = obs.NewCounter("reliable.retransmissions")       // re-sends by nodes that already transmitted
+	mRetransRounds = obs.NewCounter("reliable.retransmission_rounds") // rounds containing >= 1 retransmission
+	mBackoffWaits  = obs.NewCounter("reliable.backoff_waits")         // sender-rounds sat out in exponential backoff
+	mFFJumps       = obs.NewCounter("reliable.fastforward_jumps")     // idle-window jumps taken (faults.Oracle.NextUp)
+	mFFRounds      = obs.NewCounter("reliable.fastforward_rounds")    // rounds those jumps skipped
+	mDegraded      = obs.NewCounter("reliable.degraded")              // runs conceding degradation
 )
 
 // Result summarizes one reliable broadcast.
@@ -66,6 +82,11 @@ type Config struct {
 	// the golden reference for the equivalence test and for timing the
 	// savings.
 	NoFastForward bool
+	// Tracer, when non-nil, records retransmit events (one per re-send,
+	// with the sender's outstanding-peer count) and a stall event if the
+	// run concedes degradation. nil is the Nop default and costs one
+	// predicted branch per round.
+	Tracer *obs.Tracer
 }
 
 // Run performs one reliable broadcast of a packet originating at source
@@ -166,6 +187,43 @@ func Run(g *graph.Graph, t *fwdtree.Tree, source int, cfg Config) (*Result, erro
 		attempts = make([]int, n)
 		nextTry = make([]int, n)
 	}
+	// Retransmission bookkeeping exists only when someone is watching:
+	// sent[] and the stat locals feed the reliable.* counters and the
+	// trace events, and an unobserved run allocates neither.
+	tr := cfg.Tracer
+	measure := tr != nil || obs.Enabled()
+	var sent []bool
+	if measure {
+		sent = make([]bool, n)
+	}
+	var cRetrans, cRetransRounds, cBackoff, cFFJumps, cFFRounds int64
+	// owes counts the peers v still has to reach — the retransmit events'
+	// payload. Only called under a tracer.
+	owes := func(v int) int {
+		c := 0
+		if !t.Nodes[v] {
+			for _, u := range g.Neighbors(v) {
+				if t.Nodes[u] && !knows(v, u) {
+					c++
+				}
+			}
+			return c
+		}
+		if p, ok := parentOf(v); ok && !knows(v, p) {
+			c++
+		}
+		for _, x := range children[v] {
+			if !knows(v, x) {
+				c++
+			}
+		}
+		for _, w := range responsible[v] {
+			if !knows(v, w) {
+				c++
+			}
+		}
+		return c
+	}
 	ora, _ := fo.(*faults.Oracle)
 	fastForward := ora != nil && !cfg.NoFastForward
 	// stallRounds bounds how long a faulted run keeps retrying without a
@@ -182,8 +240,14 @@ func Run(g *graph.Graph, t *fwdtree.Tree, source int, cfg Config) (*Result, erro
 			if !wantsToSend(v) {
 				continue
 			}
-			if fo != nil && (!fo.NodeUp(v, round) || round < nextTry[v]) {
-				continue // crashed, or backing off after lost retries
+			if fo != nil {
+				if !fo.NodeUp(v, round) {
+					continue // crashed
+				}
+				if round < nextTry[v] {
+					cBackoff++
+					continue // backing off after lost retries
+				}
 			}
 			senders = append(senders, v)
 		}
@@ -191,6 +255,15 @@ func Run(g *graph.Graph, t *fwdtree.Tree, source int, cfg Config) (*Result, erro
 			break
 		}
 		if fo != nil && round-lastProgress > stallRounds {
+			if tr != nil {
+				uncovered := 0
+				for v := 0; v < n; v++ {
+					if !has[v] {
+						uncovered++
+					}
+				}
+				tr.Stall(round, uncovered)
+			}
 			break // nobody is getting through; the tree is severed
 		}
 		if len(senders) == 0 {
@@ -229,14 +302,27 @@ func Run(g *graph.Graph, t *fwdtree.Tree, source int, cfg Config) (*Result, erro
 					next = cap
 				}
 				if next > round+1 {
+					cFFJumps++
+					cFFRounds += int64(next - 1 - round)
 					round = next - 1
 				}
 			}
 			continue
 		}
 		res.Rounds = round
+		retransInRound := false
 		for _, s := range senders {
 			res.Transmissions++
+			if measure {
+				if sent[s] {
+					cRetrans++
+					retransInRound = true
+					if tr != nil {
+						tr.Retransmit(round, s, owes(s))
+					}
+				}
+				sent[s] = true
+			}
 			if fo != nil {
 				attempts[s]++
 				backoff := 1 << (attempts[s] - 1)
@@ -276,6 +362,9 @@ func Run(g *graph.Graph, t *fwdtree.Tree, source int, cfg Config) (*Result, erro
 				}
 			}
 		}
+		if retransInRound {
+			cRetransRounds++
+		}
 	}
 
 	res.Delivered = true
@@ -286,5 +375,16 @@ func Run(g *graph.Graph, t *fwdtree.Tree, source int, cfg Config) (*Result, erro
 		}
 	}
 	res.Degraded = fo != nil && !res.Delivered
+	mRuns.Inc()
+	mTransmissions.Add(int64(res.Transmissions))
+	mAcks.Add(int64(res.Acks))
+	mRetrans.Add(cRetrans)
+	mRetransRounds.Add(cRetransRounds)
+	mBackoffWaits.Add(cBackoff)
+	mFFJumps.Add(cFFJumps)
+	mFFRounds.Add(cFFRounds)
+	if res.Degraded {
+		mDegraded.Inc()
+	}
 	return res, nil
 }

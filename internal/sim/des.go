@@ -6,6 +6,16 @@ import (
 	"clustercast/internal/backbone"
 	"clustercast/internal/coverage"
 	"clustercast/internal/graph"
+	"clustercast/internal/obs"
+)
+
+// Worklist-election health counters, folded once per RunDES (locals in
+// the loop, like the wheel's per-run stats). rounds/worklist together
+// measure the O(messages) claim: worklist_nodes ~ n per run regardless of
+// how many declaration rounds the ID structure forces.
+var (
+	mElectionRounds = obs.NewCounter("sim.des_election_rounds") // declaration/join iterations
+	mWorklistNodes  = obs.NewCounter("sim.des_worklist_nodes")  // ready-worklist entries examined
 )
 
 // RunDES executes the construction protocol event-driven: instead of the
@@ -78,8 +88,10 @@ func RunDES(g *graph.Graph, mode coverage.Mode) *Outcome {
 	newHeads := make([]int32, 0, 64)
 	newMembers := make([]int32, 0, 64)
 	var iter uint32
+	var worklistSeen int64
 	for undecided > 0 {
 		iter++
+		worklistSeen += int64(len(ready))
 		// Declaration round: every ready candidate wins (its smaller
 		// neighbors are all members). Ready entries that joined in the
 		// meantime are skipped for good.
@@ -135,6 +147,8 @@ func RunDES(g *graph.Graph, mode coverage.Mode) *Outcome {
 			}
 		}
 	}
+	mElectionRounds.Add(int64(iter))
+	mWorklistNodes.Add(worklistSeen)
 
 	// ---- Phase C: CH_HOP1 / CH_HOP2 coverage exchange. --------------------
 	// CH_HOP1: every non-head broadcasts its adjacent heads (ascending,

@@ -51,6 +51,7 @@ func ReplicateBatch(rule StopRule, workers int, estimator func(worker, batch int
 			}
 			s.Add(o.X[l])
 			mObservations.Inc()
+			progReplicates.Step()
 		}
 		return false, nil
 	}

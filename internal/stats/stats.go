@@ -18,6 +18,10 @@ import (
 var (
 	mObservations = obs.NewCounter("replicate.observations")
 	mSkips        = obs.NewCounter("replicate.skips")
+	// progReplicates feeds the live telemetry layer a replicate-level
+	// completion rate. The adaptive stopping rule makes the total unknown
+	// up front, so heartbeat views report done/rate with ETA -1.
+	progReplicates = obs.NewProgress("replicate")
 )
 
 // Summary holds running moments of a sample (Welford's algorithm, so a
@@ -300,6 +304,7 @@ func Replicate(rule StopRule, estimator func(rep int) (float64, bool)) (*Summary
 		}
 		s.Add(x)
 		mObservations.Inc()
+		progReplicates.Step()
 	}
 }
 
@@ -397,6 +402,7 @@ func ReplicateNWorker(rule StopRule, workers int, estimator func(worker, rep int
 			}
 			s.Add(batch[i].x)
 			mObservations.Inc()
+			progReplicates.Step()
 		}
 	}
 }
