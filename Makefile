@@ -3,7 +3,7 @@ GO ?= go
 # Baseline the bench-compare target diffs against.
 BENCH_BASELINE ?= BENCH_PR3.json
 
-.PHONY: all ci build vet test test-race bench-smoke bench bench-compare bench-scale bench-batch bench-des bench-build figures trace-smoke faults-smoke telemetry-smoke
+.PHONY: all ci build vet test test-race bench-smoke bench bench-compare bench-scale bench-batch bench-des bench-build figures trace-smoke faults-smoke telemetry-smoke workload-smoke
 
 all: vet test
 
@@ -117,6 +117,23 @@ telemetry-smoke:
 		{ echo "telemetry-smoke: scale.reps progress missing from /metrics scrape" >&2; exit 1; }
 	grep -q '^clustercast_scale_dynamic25_heap_high_water_bytes ' artifacts/telemetry/metrics.prom || \
 		{ echo "telemetry-smoke: heap high-water gauge missing from /metrics scrape" >&2; exit 1; }
+
+# Traffic-workload gate: a race pass over the multi-source MAC engine,
+# workload, route-discovery and parent-chain equivalence suites; the
+# n=1000 scalar-vs-des throughput points diffed against BENCH_PR10.json;
+# a -traffic manetsim load report; and the traffic/discovery figures end
+# to end under the quick rule (CSV checksums make worker-count
+# nondeterminism visible in CI logs). Artifacts land in artifacts/workload.
+workload-smoke:
+	mkdir -p artifacts/workload
+	$(GO) test -race -run 'Workload|MultiMAC|Discover|ParentChain|RouteLen|ValidateDegenerate' \
+		./internal/broadcast ./internal/workload ./internal/routing ./internal/experiment ./cmd/manetsim
+	$(GO) test -run xxx -bench 'WorkloadThroughput/n=1000$$' -benchtime 10x . \
+		| $(GO) run ./cmd/benchcmp -baseline BENCH_PR10.json -threshold 0.10
+	$(GO) run ./cmd/manetsim -n 80 -d 10 -seed 7 -protocols flooding \
+		-traffic proc=poisson,rate=0.3,flows=24
+	$(GO) run ./cmd/figures -fig traffic,discovery -quick -seed 7 -workers 4 -out artifacts/workload -format csv > /dev/null
+	cksum artifacts/workload/*.csv
 
 # Fault-injection smoke: a churn-and-repair manetsim run plus the two
 # failure-sweep figures under the quick replication rule. The CSV checksums

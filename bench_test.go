@@ -38,6 +38,7 @@ import (
 	"clustercast/internal/routing"
 	"clustercast/internal/sim"
 	"clustercast/internal/topology"
+	"clustercast/internal/workload"
 )
 
 // sample draws the i-th replicate network for a bench scenario.
@@ -1073,5 +1074,50 @@ func BenchmarkDESTimed(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkWorkloadThroughput measures the multi-source MAC engine's
+// scaling curve: one Poisson workload of 32 concurrent flooding flows
+// (rate 0.5 arrivals/slot, jitter 4) contending for slots on one fixed
+// unit-disk graph (d=18, the dense paper regime — connected at every
+// size), scalar engine vs calendar port, at n = 1k /
+// 10k / 100k. The n=100000 point is skipped under -short. The measured
+// end-to-end throughput (deliveries per slot of makespan) is reported as
+// a custom metric; BENCH_PR10.json publishes the curve.
+func BenchmarkWorkloadThroughput(b *testing.B) {
+	engines := []struct {
+		name string
+		run  workload.Engine
+	}{
+		{"scalar", broadcast.RunMACMulti},
+		{"des", broadcast.RunMACMultiDES},
+	}
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			if testing.Short() && n > 10000 {
+				b.Skip("large workload point skipped with -short")
+			}
+			nw := sample(b, n, 18, 0)
+			spec := workload.Spec{Process: workload.Poisson, Rate: 0.5, Flows: 32, FanOut: 1, Seed: 99}
+			flows, err := spec.Generate(nw.N())
+			if err != nil {
+				b.Fatal(err)
+			}
+			proto := func(int) broadcast.Protocol { return broadcast.Flooding{} }
+			opt := broadcast.MACOptions{Jitter: 4}
+			for _, e := range engines {
+				b.Run(e.name, func(b *testing.B) {
+					var last *workload.TrafficResult
+					for i := 0; i < b.N; i++ {
+						last = workload.RunTraffic(nw.Graph(), flows, proto, opt, e.run)
+					}
+					if last.DeliveryRatio == 0 {
+						b.Fatal("workload delivered nothing")
+					}
+					b.ReportMetric(last.Throughput, "deliveries/slot")
+				})
+			}
+		})
 	}
 }

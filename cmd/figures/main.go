@@ -56,7 +56,7 @@ var figureOrder = []string{
 	"ratio", "msg", "baselines", "tiebreak", "mobility", "delivery",
 	"sicds", "lossy", "maint", "passive", "reliable", "pruning",
 	"routing", "storm", "hier", "collision", "election", "covcost", "amort",
-	"faults", "burst", "gossip",
+	"faults", "burst", "gossip", "traffic", "discovery",
 }
 
 // runners builds the figure constructors for a given configuration.
@@ -114,6 +114,12 @@ func runners(cfg config, rule stats.StopRule, ns []int) map[string]func() *exper
 			return experiment.GossipAblation(
 				[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8, 1},
 				[]float64{0, 0.1, 0.3}, 60, 10, seed, rule)
+		},
+		"traffic": func() *experiment.Figure {
+			return experiment.Traffic([]float64{0.05, 0.1, 0.2, 0.4, 0.8}, 60, 10, 32, 3, seed, rule)
+		},
+		"discovery": func() *experiment.Figure {
+			return experiment.Discovery([]float64{0.05, 0.1, 0.2, 0.4, 0.8}, 60, 10, 24, 3, seed, rule)
 		},
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"clustercast/internal/rng"
 	"clustercast/internal/sim"
 	"clustercast/internal/topology"
+	"clustercast/internal/workload"
 )
 
 // config holds the parsed command line.
@@ -44,6 +45,7 @@ type config struct {
 	source    int
 	protocols string
 	faults    string
+	traffic   string
 	wire      bool
 	des       bool
 	load      string
@@ -157,6 +159,66 @@ func buildRuns(nw *core.Network, src int, seed uint64, tr *obs.Tracer, fo *fault
 	}
 }
 
+// runTraffic drives the -traffic workload over each relay structure:
+// concurrent multi-source broadcasts (or RREQ floods when the spec says
+// discovery=1) contending for MAC slots, one comparison row per backbone.
+func runTraffic(cfg config, nw *core.Network, oracle *faults.Oracle, stdout io.Writer) error {
+	spec, err := workload.ParseSpec(cfg.traffic)
+	if err != nil {
+		return fmt.Errorf("-traffic: %w", err)
+	}
+	if spec.Seed == 0 {
+		spec.Seed = cfg.seed
+	}
+	flows, err := spec.Generate(nw.N())
+	if err != nil {
+		return fmt.Errorf("-traffic: %w", err)
+	}
+	engine := workload.Engine(broadcast.RunMACMulti)
+	if cfg.des {
+		engine = broadcast.RunMACMultiDES
+	}
+	const jitter = 3
+	g := nw.Graph()
+	opt := broadcast.MACOptions{Jitter: jitter, Faults: oracle}
+	shared := func(p broadcast.Protocol) workload.ProtoFactory {
+		return func(int) broadcast.Protocol { return p }
+	}
+	type bk struct {
+		name  string
+		proto workload.ProtoFactory
+	}
+	st := nw.StaticBackbone(core.Hop25)
+	mo := nw.MOCDS()
+	backbones := []bk{
+		{"flooding", shared(broadcast.Flooding{})},
+		{"static-2.5", shared(broadcast.StaticCDS{Set: st.Nodes, Label: "static-2.5hop"})},
+		{"dynamic-2.5", shared(nw.DynamicProtocol(core.Hop25))},
+		{"mo-cds", shared(broadcast.StaticCDS{Set: mo.Nodes, Label: "mo-cds"})},
+	}
+	fmt.Fprintf(stdout, "\ntraffic workload: %s (%d flows, jitter %d)\n", spec.String(), len(flows), jitter)
+	if spec.Discovery {
+		fmt.Fprintf(stdout, "%-12s %9s %9s %9s %9s %9s\n",
+			"protocol", "found", "success", "latency", "routelen", "stretch")
+		for _, b := range backbones {
+			dr := workload.RunDiscovery(g, flows, b.proto, opt, engine)
+			fmt.Fprintf(stdout, "%-12s %4d/%-4d %8.1f%% %9.1f %9.2f %9.2f\n",
+				b.name, dr.Found, dr.Requests, 100*dr.SuccessRatio,
+				dr.MeanLatency, dr.MeanRouteLen, dr.MeanStretch)
+		}
+		return nil
+	}
+	fmt.Fprintf(stdout, "%-12s %9s %10s %9s %10s %6s\n",
+		"protocol", "delivery", "throughput", "latency", "collisions", "cross")
+	for _, b := range backbones {
+		tr := workload.RunTraffic(g, flows, b.proto, opt, engine)
+		fmt.Fprintf(stdout, "%-12s %8.1f%% %10.2f %9.1f %10d %6d\n",
+			b.name, 100*tr.DeliveryRatio, tr.Throughput, tr.MeanLatency,
+			tr.Collisions, tr.CrossCollisions)
+	}
+	return nil
+}
+
 // loadNetwork resolves the scenario network from the configuration.
 func loadNetwork(cfg *config) (*core.Network, error) {
 	if cfg.load != "" {
@@ -201,7 +263,7 @@ func run(cfg config, stdout io.Writer) (retErr error) {
 		manifest.Workers = cfg.workers
 		manifest.Param("n", cfg.n).Param("d", cfg.d).Param("source", cfg.source).
 			Param("protocols", cfg.protocols).Param("load", cfg.load).Param("wire", cfg.wire).
-			Param("faults", cfg.faults)
+			Param("faults", cfg.faults).Param("traffic", cfg.traffic)
 	}
 
 	desEngine = cfg.des
@@ -278,6 +340,12 @@ func run(cfg config, stdout io.Writer) (retErr error) {
 			r.name, res.ForwardCount(), 100*res.DeliveryRatio(cfg.n), res.Latency)
 	}
 
+	if cfg.traffic != "" {
+		if err := runTraffic(cfg, nw, oracle, stdout); err != nil {
+			return err
+		}
+	}
+
 	if tracer != nil {
 		f, err := os.Create(cfg.trace)
 		if err != nil {
@@ -339,6 +407,9 @@ func main() {
 		"comma list: flooding,gossip,mpr,dp,pdp,static-2.5,static-3,dynamic-2.5,dynamic-3,mo-cds,marking,fwd-tree,passive,sba,counter-3,distance (or all)")
 	flag.StringVar(&cfg.faults, "faults", "",
 		"fault schedule, e.g. 'mtbf=200,mttr=50,burst=0.2:8,part=10:40:x:50' (see internal/faults); applies to every engine-run protocol and prints a backbone-repair report")
+	flag.StringVar(&cfg.traffic, "traffic", "",
+		"traffic workload spec, e.g. 'proc=poisson,rate=0.2,flows=32' or 'proc=bursty,burst=4,every=10,flows=40,discovery=1' "+
+			"(see internal/workload); runs concurrent multi-source broadcasts per backbone and prints a load report")
 	flag.BoolVar(&cfg.wire, "wire", false, "also run the distributed wire-protocol construction and print message counts")
 	flag.StringVar(&cfg.load, "load", "", "load a topology snapshot (JSON, from topogen -save) instead of generating one")
 	flag.BoolVar(&cfg.des, "des", false,

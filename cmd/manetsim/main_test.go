@@ -126,3 +126,55 @@ func TestRunDESByteIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestRunTrafficReport: the -traffic flag appends a per-backbone load
+// report, identical bytes with the calendar engines on.
+func TestRunTrafficReport(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{n: 40, d: 10, seed: 3, source: 0, protocols: "flooding",
+		traffic: "proc=poisson,rate=0.3,flows=16"}
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "traffic workload:") || !strings.Contains(s, "throughput") {
+		t.Fatalf("traffic report missing:\n%s", s)
+	}
+	for _, row := range []string{"flooding", "static-2.5", "dynamic-2.5", "mo-cds"} {
+		if !strings.Contains(s, row) {
+			t.Fatalf("traffic report missing backbone %q:\n%s", row, s)
+		}
+	}
+	var des bytes.Buffer
+	cfgDES := cfg
+	cfgDES.des = true
+	if err := run(cfgDES, &des); err != nil {
+		t.Fatal(err)
+	}
+	if des.String() != s {
+		t.Fatal("-des changed the traffic report bytes")
+	}
+}
+
+// TestRunTrafficDiscovery: discovery=1 switches to the route-discovery
+// report.
+func TestRunTrafficDiscovery(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{n: 40, d: 10, seed: 4, source: 0, protocols: "flooding",
+		traffic: "proc=bursty,burst=2,every=12,flows=12,discovery=1"}
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "success") || !strings.Contains(s, "routelen") {
+		t.Fatalf("discovery report missing:\n%s", s)
+	}
+}
+
+// TestRunTrafficBadSpec: a malformed spec is a user error, not a panic.
+func TestRunTrafficBadSpec(t *testing.T) {
+	cfg := config{n: 20, d: 8, seed: 1, source: 0, protocols: "flooding", traffic: "proc=warp"}
+	if err := run(cfg, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "-traffic") {
+		t.Fatalf("want -traffic parse error, got %v", err)
+	}
+}

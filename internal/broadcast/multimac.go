@@ -1,0 +1,364 @@
+package broadcast
+
+import (
+	"sort"
+
+	"clustercast/internal/graph"
+	"clustercast/internal/obs"
+	"clustercast/internal/rng"
+)
+
+// Multi-source MAC metrics, folded once per RunMACMulti.
+var (
+	mMultiRuns       = obs.NewCounter("mac.multi_runs")
+	mMultiFlows      = obs.NewCounter("mac.multi_flows")
+	mCrossCollisions = obs.NewCounter("mac.cross_collisions")
+)
+
+// MultiFlow is one broadcast of a multi-source traffic workload: a source
+// injecting a packet at an absolute slot, carrying its own protocol
+// instance and its own jitter seed.
+//
+// Proto must be private to the flow when the protocol keeps per-broadcast
+// state (the engine interleaves OnReceive callbacks of concurrently active
+// flows); stateless protocols (Flooding, StaticCDS, Gossip) and the
+// non-reusing dynamic-backbone protocol may be shared across flows.
+type MultiFlow struct {
+	// Src is the broadcast source.
+	Src int
+	// Dst, when >= 0, names the node whose first decode the engine
+	// timestamps (FlowResult.DstSlot) — the RREQ destination of a route
+	// discovery. -1 for a plain broadcast.
+	Dst int
+	// Start is the absolute slot the source transmits in.
+	Start int
+	// Seed drives this flow's jitter draws. In the zero-contention limit
+	// (no other flow shares a slot with this one) the flow's result is
+	// bit-identical to RunMAC(g, Src, Proto, MACOptions{Jitter, Seed}).
+	Seed uint64
+	// Proto decides forwarding for this flow's packet.
+	Proto Protocol
+}
+
+// FlowResult is one flow's outcome within a multi-source run. Latency is
+// relative to the flow's Start slot, so in the zero-contention limit the
+// embedded CollisionResult equals the flow's single-source RunMAC result
+// field for field.
+type FlowResult struct {
+	CollisionResult
+	// Start echoes the flow's injection slot.
+	Start int
+	// DstSlot is the absolute slot at which the flow's Dst first decoded
+	// the packet (-1 when the flow has no Dst or it was never reached;
+	// Start when Dst == Src).
+	DstSlot int
+}
+
+// MultiResult aggregates one multi-source slotted-MAC run.
+type MultiResult struct {
+	// Flows holds the per-flow results, index-aligned with the input.
+	Flows []*FlowResult
+	// SharedCollisions counts receiver-slot collision events on the shared
+	// medium, each counted once regardless of how many flows collided.
+	SharedCollisions int
+	// CrossCollisions counts the subset of SharedCollisions whose destroyed
+	// copies came from at least two distinct flows — the inter-flow
+	// contention a single-source run can never exhibit.
+	CrossCollisions int
+	// Transmissions counts transmissions that went on the air across all
+	// flows (crashed senders excluded).
+	Transmissions int
+	// Makespan is the last delivery slot of the run (absolute; 0 when
+	// nothing was delivered beyond the sources).
+	Makespan int
+}
+
+// DeliveredTotal sums the nodes reached across all flows (sources
+// included), the numerator of the workload's aggregate delivery ratio.
+func (m *MultiResult) DeliveredTotal() int {
+	total := 0
+	for _, f := range m.Flows {
+		total += len(f.Received)
+	}
+	return total
+}
+
+// DeliveryRatio returns the mean per-flow delivery ratio over n nodes.
+func (m *MultiResult) DeliveryRatio(n int) float64 {
+	if len(m.Flows) == 0 || n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, f := range m.Flows {
+		sum += f.DeliveryRatio(n)
+	}
+	return sum / float64(len(m.Flows))
+}
+
+// multiTx is one queued transmission of the multi-source engine.
+type multiTx struct {
+	flow    int32
+	sender  int32
+	trigger int32 // upstream sender that caused this relay (-1: source)
+	pkt     Packet
+}
+
+// RunMACMulti simulates concurrently active broadcasts under the slotted
+// collision model: transmissions of *all* flows scheduled in the same slot
+// contend, and a receiver that hears more than one — regardless of which
+// flows they belong to — decodes none. Per-flow forwarding state
+// (reception, duplicates, acted payloads, jitter stream) is independent,
+// so with disjoint slot schedules the run degenerates to len(flows)
+// serialized single-source RunMAC runs, bit for bit (gated by
+// TestMultiMACZeroContentionEquivalence).
+//
+// opt.Seed is unused: each flow's jitter stream derives from its own Seed,
+// which is what makes a flow's randomness independent of which other flows
+// share the air. opt.Workers is ignored (the calendar port is sequential);
+// opt.Tracer and opt.Faults apply to the shared medium exactly as in
+// RunMAC.
+func RunMACMulti(g *graph.Graph, flows []MultiFlow, opt MACOptions) *MultiResult {
+	res := &MultiResult{Flows: make([]*FlowResult, len(flows))}
+	if len(flows) == 0 {
+		return res
+	}
+
+	jitters := make([]rng.Stream, len(flows))
+	draw := func(fi int32) int {
+		if opt.Jitter <= 0 {
+			return 0
+		}
+		return jitters[fi].Intn(opt.Jitter + 1)
+	}
+
+	// Per-flow acted-payload sets, exactly RunMAC's per-node bookkeeping
+	// lifted to (flow, node).
+	acted := make([]map[int]map[Packet]bool, len(flows))
+	mark := func(fi int32, v int, pkt Packet) {
+		m := acted[fi][v]
+		if m == nil {
+			m = make(map[Packet]bool)
+			acted[fi][v] = m
+		}
+		m[pkt] = true
+	}
+
+	// slots[t] holds the transmissions scheduled for slot t; occ is the
+	// min-heap of occupied slots (see RunMAC).
+	slots := map[int][]multiTx{}
+	var occ []int
+	schedule := func(slot int, x multiTx) {
+		if len(slots[slot]) == 0 {
+			occ = append(occ, slot)
+			for i := len(occ) - 1; i > 0; { // sift up
+				p := (i - 1) / 2
+				if occ[p] <= occ[i] {
+					break
+				}
+				occ[p], occ[i] = occ[i], occ[p]
+				i = p
+			}
+		}
+		slots[slot] = append(slots[slot], x)
+	}
+	popSlot := func() int {
+		t := occ[0]
+		last := len(occ) - 1
+		occ[0] = occ[last]
+		occ = occ[:last]
+		for i := 0; ; { // sift down
+			c := 2*i + 1
+			if c >= last {
+				break
+			}
+			if c+1 < last && occ[c+1] < occ[c] {
+				c++
+			}
+			if occ[i] <= occ[c] {
+				break
+			}
+			occ[i], occ[c] = occ[c], occ[i]
+			i = c
+		}
+		return t
+	}
+
+	tr := opt.Tracer
+	if tr != nil {
+		tr.SetTime(0)
+	}
+	for i := range flows {
+		f := &flows[i]
+		fr := &FlowResult{Start: f.Start, DstSlot: -1}
+		fr.Result = Result{
+			Source:     f.Src,
+			Forwarders: map[int]bool{f.Src: true},
+			Received:   map[int]bool{f.Src: true},
+			Parent:     make(map[int]int),
+		}
+		if f.Dst == f.Src {
+			fr.DstSlot = f.Start
+		}
+		res.Flows[i] = fr
+		jitters[i].SeedLabeled(f.Seed, "mac-jitter")
+		acted[i] = make(map[int]map[Packet]bool)
+		start := f.Proto.Start(f.Src)
+		mark(int32(i), f.Src, start)
+		schedule(f.Start, multiTx{flow: int32(i), sender: int32(f.Src), trigger: -1, pkt: start})
+	}
+
+	fo := opt.Faults
+	for len(occ) > 0 {
+		t := popSlot()
+		batch := slots[t]
+		delete(slots, t)
+		if fo != nil {
+			// Crashed forwarders stay silent; their slot reservation lapses.
+			live := batch[:0]
+			for _, x := range batch {
+				if fo.NodeUp(int(x.sender), t) {
+					live = append(live, x)
+				}
+			}
+			batch = live
+		}
+		if tr != nil {
+			tr.SetTime(t + 1)
+			for _, x := range batch {
+				tr.Send(t, int(x.sender), int(x.trigger))
+			}
+		}
+		res.Transmissions += len(batch)
+
+		// Receiver-side resolution over the shared medium: every copy of
+		// every flow counts toward the same per-receiver tally.
+		heardBy := map[int][]int32{}
+		for bi, x := range batch {
+			for _, v := range g.Neighbors(int(x.sender)) {
+				if fo != nil && (!fo.NodeUp(v, t+1) || !fo.LinkUp(int(x.sender), v, t+1) ||
+					fo.CopyLost(int(x.sender), v, t+1)) {
+					continue // the copy faded before reaching v
+				}
+				heardBy[v] = append(heardBy[v], int32(bi))
+			}
+		}
+		receivers := make([]int, 0, len(heardBy))
+		for v := range heardBy {
+			receivers = append(receivers, v)
+		}
+		sort.Ints(receivers)
+		for _, v := range receivers {
+			copies := heardBy[v]
+			res.commit(g, flows, batch, t, v, copies, tr, func(fi int32) int { return draw(fi) },
+				func(fi int32, node int, pkt Packet) { mark(fi, node, pkt) },
+				func(fi int32, node int, pkt Packet) bool { return acted[fi][node][pkt] },
+				func(slot int, x multiTx) { schedule(slot, x) })
+		}
+	}
+
+	res.fold()
+	return res
+}
+
+// commit resolves one (receiver, slot) cell: the collision rule first,
+// then delivery/duplicate dispatch into the decoded copy's flow. Shared
+// verbatim by the scalar and calendar engines so their per-slot semantics
+// cannot drift.
+func (m *MultiResult) commit(g *graph.Graph, flows []MultiFlow, batch []multiTx, t, v int,
+	copies []int32, tr *obs.Tracer, draw func(int32) int,
+	mark func(int32, int, Packet), actedOn func(int32, int, Packet) bool,
+	schedule func(int, multiTx)) {
+	if len(copies) > 1 {
+		m.SharedCollisions++
+		// Attribute the destroyed copies flow by flow: each involved flow
+		// records one collision event plus its own lost copies, exactly
+		// what its single-source run would have recorded had the copies
+		// all been its own.
+		first := batch[copies[0]].flow
+		cross := false
+		for ci, bi := range copies {
+			fi := batch[bi].flow
+			m.Flows[fi].LostCopies++
+			if fi != first {
+				cross = true
+			}
+			newFlow := true
+			for _, bj := range copies[:ci] {
+				if batch[bj].flow == fi {
+					newFlow = false
+					break
+				}
+			}
+			if newFlow {
+				m.Flows[fi].Collisions++
+			}
+		}
+		if cross {
+			m.CrossCollisions++
+		}
+		if tr != nil {
+			tr.Collision(t+1, v)
+		}
+		return
+	}
+	x := batch[copies[0]]
+	fi := x.flow
+	fr := m.Flows[fi]
+	f := &flows[fi]
+	var forward bool
+	var out Packet
+	if !fr.Received[v] {
+		fr.Received[v] = true
+		fr.Parent[v] = int(x.sender)
+		if rel := t + 1 - f.Start; rel > fr.Latency {
+			fr.Latency = rel
+		}
+		if t+1 > m.Makespan {
+			m.Makespan = t + 1
+		}
+		if v == f.Dst && fr.DstSlot < 0 {
+			fr.DstSlot = t + 1
+		}
+		if tr != nil {
+			tr.Deliver(t+1, v, int(x.sender))
+		}
+		forward, out = f.Proto.OnReceive(v, int(x.sender), x.pkt)
+	} else {
+		fr.Duplicates++
+		if tr != nil {
+			tr.Duplicate(t+1, v, int(x.sender))
+		}
+		if actedOn(fi, v, x.pkt) {
+			return
+		}
+		forward, out = f.Proto.OnDuplicate(v, int(x.sender), x.pkt)
+	}
+	if forward {
+		fr.Forwarders[v] = true
+		mark(fi, v, x.pkt)
+		mark(fi, v, out)
+		schedule(t+1+draw(fi), multiTx{flow: fi, sender: int32(v), trigger: x.sender, pkt: out})
+	}
+}
+
+// fold records the run's totals in the metrics registry: the broadcast.*
+// and mac.* totals a serialized sequence of single-source runs would have
+// folded, plus the multi-source-only counters.
+func (m *MultiResult) fold() {
+	deliveries, duplicates, collisions, lost := 0, 0, 0, 0
+	for _, f := range m.Flows {
+		deliveries += len(f.Received) - 1
+		duplicates += f.Duplicates
+		collisions += f.Collisions
+		lost += f.LostCopies
+	}
+	mRuns.Add(int64(len(m.Flows)))
+	mTransmissions.Add(int64(m.Transmissions))
+	mDeliveries.Add(int64(deliveries))
+	mDuplicates.Add(int64(duplicates))
+	mMACCollisions.Add(int64(collisions))
+	mMACLostCopies.Add(int64(lost))
+	mMultiRuns.Inc()
+	mMultiFlows.Add(int64(len(m.Flows)))
+	mCrossCollisions.Add(int64(m.CrossCollisions))
+}

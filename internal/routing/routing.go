@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"clustercast/internal/broadcast"
+	"clustercast/internal/faults"
 	"clustercast/internal/graph"
 )
 
@@ -31,20 +32,96 @@ type Route struct {
 	ReplyCost int
 }
 
-// Len returns the hop length of the route (edges, not nodes).
-func (r *Route) Len() int { return len(r.Hops) - 1 }
+// Len returns the hop length of the route (edges, not nodes). It is
+// total: a nil, empty, or single-node route has zero hops (the old
+// `len(Hops) - 1` returned -1 on an empty route, and callers averaging
+// discovery latency over failed routes inherited the off-by-one).
+func (r *Route) Len() int {
+	if r == nil || len(r.Hops) < 2 {
+		return 0
+	}
+	return len(r.Hops) - 1
+}
 
 // ErrUnreachable is returned when the RREQ flood does not reach the
 // destination.
 var ErrUnreachable = fmt.Errorf("routing: destination unreachable by the discovery flood")
 
+// Options selects the radio/MAC model the RREQ flood runs under.
+// The zero value is the ideal radio of Discover.
+type Options struct {
+	// Loss is the per-copy i.i.d. loss probability of the ideal-radio
+	// flood (broadcast.Options.Loss). Ignored when MAC is set.
+	Loss float64
+	// Seed drives the loss (ideal radio) or jitter (MAC) draws.
+	Seed uint64
+	// MAC runs the RREQ flood under the slotted collision model
+	// (broadcast.RunMAC) instead of the ideal radio: overlapping relays
+	// collide, and the discovered route follows first *decoded* copies.
+	MAC bool
+	// Jitter is the MAC contention window (MACOptions.Jitter).
+	Jitter int
+	// DES runs the calendar port of the selected engine (bit-identical to
+	// the scalar engine; only the event loop changes).
+	DES bool
+}
+
 // Discover floods a route request from src under the given broadcast
-// protocol and extracts the route to dst from the delivery tree.
+// protocol on an ideal radio and extracts the route to dst from the
+// delivery tree. It is DiscoverOpts with the zero Options and no faults.
 func Discover(g *graph.Graph, src, dst int, p broadcast.Protocol) (*Route, error) {
+	return DiscoverOpts(g, src, dst, p, Options{}, nil)
+}
+
+// DiscoverOpts floods a route request from src under the selected radio
+// model — ideal, lossy, slotted-MAC, with or without a fault schedule —
+// and extracts the route to dst from the delivery tree. Discover's
+// ideal-only dispatch was the bug: under loss, faults, or MAC collisions
+// the real flood delivers along different parents (or not at all), so
+// routes and RequestCost reported by an ideal re-run were fiction.
+//
+// Every engine commits a delivery only after the fault checks pass
+// (receiver up, link up, copy kept), so the returned parent chain never
+// traverses a node the oracle had down at its delivery time; the
+// partition regression test in routing_test.go pins that property.
+func DiscoverOpts(g *graph.Graph, src, dst int, p broadcast.Protocol, opt Options, fo faults.Model) (*Route, error) {
 	if src == dst {
 		return &Route{Hops: []int{src}, RequestCost: 0, ReplyCost: 0}, nil
 	}
-	res := broadcast.Run(g, src, p)
+	var res *broadcast.Result
+	var cost int
+	if opt.MAC {
+		mo := broadcast.MACOptions{Jitter: opt.Jitter, Seed: opt.Seed, Faults: fo}
+		var cr *broadcast.CollisionResult
+		if opt.DES {
+			cr = broadcast.RunMACDES(g, src, p, mo)
+		} else {
+			cr = broadcast.RunMAC(g, src, p, mo)
+		}
+		res, cost = &cr.Result, cr.ForwardCount()
+	} else {
+		bo := broadcast.Options{Loss: opt.Loss, Seed: opt.Seed, Faults: fo}
+		ws := broadcast.NewWorkspace()
+		var r *broadcast.Result
+		if opt.DES {
+			r = ws.RunDESOpts(g, src, p, bo).Materialize()
+		} else {
+			r = ws.RunOpts(g, src, p, bo).Materialize()
+		}
+		res, cost = r, r.ForwardCount()
+	}
+	return ExtractRoute(g, src, dst, res, cost)
+}
+
+// ExtractRoute walks the delivery tree of a completed discovery flood
+// from dst back to src and returns the route, with RequestCost set to
+// cost (the flood's transmission count). Shared by Discover/DiscoverOpts
+// and the workload discovery runner, so route semantics cannot drift
+// between the single-shot and streaming paths.
+func ExtractRoute(g *graph.Graph, src, dst int, res *broadcast.Result, cost int) (*Route, error) {
+	if src == dst {
+		return &Route{Hops: []int{src}, RequestCost: cost, ReplyCost: 0}, nil
+	}
 	if !res.Received[dst] {
 		return nil, ErrUnreachable
 	}
@@ -69,15 +146,26 @@ func Discover(g *graph.Graph, src, dst int, p broadcast.Protocol) (*Route, error
 	}
 	return &Route{
 		Hops:        hops,
-		RequestCost: res.ForwardCount(),
+		RequestCost: cost,
 		ReplyCost:   len(hops) - 1,
 	}, nil
 }
 
 // Validate checks that the route is a real path in g from src to dst.
+// It is total over degenerate routes: a nil or empty route is an error,
+// and a src==dst pair is valid exactly as the single-node route [src].
+// The explicit branch makes the single-node contract part of the API —
+// previously it rode on the fall-through of the path checks, which say
+// nothing useful when a src==dst route has the wrong shape.
 func (r *Route) Validate(g *graph.Graph, src, dst int) error {
-	if len(r.Hops) == 0 {
+	if r == nil || len(r.Hops) == 0 {
 		return fmt.Errorf("routing: empty route")
+	}
+	if src == dst {
+		if len(r.Hops) != 1 || r.Hops[0] != src {
+			return fmt.Errorf("routing: src==dst route must be the single node %d, got %v", src, r.Hops)
+		}
+		return nil
 	}
 	if r.Hops[0] != src || r.Hops[len(r.Hops)-1] != dst {
 		return fmt.Errorf("routing: endpoints %d→%d, want %d→%d",
